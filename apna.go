@@ -1,0 +1,174 @@
+// Package apna is a from-scratch implementation of APNA, the
+// Accountable and Private Network Architecture of Lee, Pappas, Barrera,
+// Szalachowski and Perrig, "Source Accountability with Domain-brokered
+// Privacy" (CoNEXT 2016).
+//
+// The package is the public facade: it composes the internal protocol
+// engines (EphID sealing, registry, management service, border routers,
+// accountability agents, DNS, host stacks) into a deterministic
+// simulated internet of ASes, hosts and links, against which all of the
+// paper's protocols run end to end.
+//
+// A minimal session looks like:
+//
+//	in, _ := apna.NewInternet(1)
+//	a, _ := in.AddAS(100)
+//	b, _ := in.AddAS(200)
+//	in.Connect(100, 200, 20*time.Millisecond)
+//	in.Build()
+//
+//	alice, _ := in.AddHost(100, "alice")
+//	bob, _ := in.AddHost(200, "bob")
+//	idA, _ := alice.NewEphID(ephid.KindData, 900)
+//	idB, _ := bob.NewEphID(ephid.KindData, 900)
+//
+//	conn, _ := alice.Connect(idA, &idB.Cert, nil)
+//	conn.Send([]byte("hello over encrypted APNA"))
+//	in.RunUntilIdle()
+//
+// Every packet alice sends is linkable to her by AS 100 (and only
+// AS 100), carries a MAC her AS verifies at egress, and is encrypted
+// end to end with a key derived from the two EphIDs' certificates.
+//
+// Use of AS, Host and Internet values is single-goroutine, matching the
+// discrete-event simulator underneath; see DESIGN.md for the full
+// architecture and EXPERIMENTS.md for the reproduction results.
+package apna
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"apna/internal/dns"
+	"apna/internal/ephid"
+	"apna/internal/ms"
+	"apna/internal/netsim"
+	"apna/internal/rpki"
+	"apna/internal/wire"
+)
+
+// Re-exported identifier types so example code rarely needs the
+// internal packages.
+type (
+	// AID identifies an AS.
+	AID = ephid.AID
+	// HID identifies a host within its AS.
+	HID = ephid.HID
+	// EphID is the 16-byte ephemeral identifier.
+	EphID = ephid.EphID
+	// Endpoint is a routable AID:EphID address.
+	Endpoint = wire.Endpoint
+)
+
+// Errors returned by the facade.
+var (
+	ErrDuplicateAS = errors.New("apna: AS already exists")
+	ErrUnknownAS   = errors.New("apna: unknown AS")
+	ErrNotBuilt    = errors.New("apna: internet not built (call Build)")
+	ErrTimeout     = errors.New("apna: operation did not complete")
+)
+
+// Options tunes internet construction.
+type Options struct {
+	// HostLinkLatency is the one-way latency of host access links.
+	HostLinkLatency time.Duration
+	// ServiceLinkLatency is the one-way latency between a border
+	// router and AS-internal services.
+	ServiceLinkLatency time.Duration
+	// StrikeLimit configures accountability agents (0 disables HID
+	// escalation).
+	StrikeLimit int
+	// Policy is the MS issuance policy.
+	Policy ms.Policy
+}
+
+// DefaultOptions returns sane simulation defaults.
+func DefaultOptions() Options {
+	return Options{
+		HostLinkLatency:    200 * time.Microsecond,
+		ServiceLinkLatency: 50 * time.Microsecond,
+		StrikeLimit:        7,
+		Policy:             ms.DefaultPolicy(),
+	}
+}
+
+// Internet is a simulated APNA internet.
+type Internet struct {
+	Sim   *netsim.Simulator
+	Trust *rpki.TrustStore
+	Zone  *dns.Zone
+
+	opts      Options
+	authority *rpki.Authority
+	ases      map[AID]*AS
+	adjacency map[AID][]AID
+	built     bool
+}
+
+// NewInternet creates an empty internet with default options.
+func NewInternet(seed int64) (*Internet, error) {
+	return NewInternetWithOptions(seed, DefaultOptions())
+}
+
+// NewInternetWithOptions creates an empty internet.
+func NewInternetWithOptions(seed int64, opts Options) (*Internet, error) {
+	auth, err := rpki.NewAuthority()
+	if err != nil {
+		return nil, err
+	}
+	zone, err := dns.NewZone()
+	if err != nil {
+		return nil, err
+	}
+	return &Internet{
+		Sim:       netsim.New(seed),
+		Trust:     rpki.NewTrustStore(auth.PublicKey()),
+		Zone:      zone,
+		opts:      opts,
+		authority: auth,
+		ases:      make(map[AID]*AS),
+		adjacency: make(map[AID][]AID),
+	}, nil
+}
+
+// Now returns the current virtual Unix time.
+func (in *Internet) Now() int64 { return in.Sim.NowUnix() }
+
+// AS returns the AS with the given AID, or nil.
+func (in *Internet) AS(aid AID) *AS { return in.ases[aid] }
+
+// Connect links two ASes' border routers with the given one-way
+// latency.
+func (in *Internet) Connect(a, b AID, latency time.Duration) error {
+	asA, okA := in.ases[a]
+	asB, okB := in.ases[b]
+	if !okA || !okB {
+		return fmt.Errorf("%w: %v-%v", ErrUnknownAS, a, b)
+	}
+	link := in.Sim.NewLink(fmt.Sprintf("%v-%v", a, b), latency, 0)
+	asA.Router.AttachNeighbor(b, link.A())
+	asB.Router.AttachNeighbor(a, link.B())
+	in.adjacency[a] = append(in.adjacency[a], b)
+	in.adjacency[b] = append(in.adjacency[b], a)
+	return nil
+}
+
+// Build computes inter-domain routes and installs them on every border
+// router. Call it after all Connect calls; hosts can be added at any
+// time.
+func (in *Internet) Build() error {
+	tables := netsim.ComputeAllRoutes(in.adjacency)
+	for aid, as := range in.ases {
+		as.Router.SetRoutes(tables[aid])
+	}
+	in.built = true
+	return nil
+}
+
+// RunUntilIdle drains the event queue (bounded) and returns the number
+// of events executed.
+func (in *Internet) RunUntilIdle() int { return in.Sim.Run(1 << 22) }
+
+// RunFor advances virtual time by d, executing due events.
+func (in *Internet) RunFor(d time.Duration) { in.Sim.RunUntil(in.Sim.Now() + d) }

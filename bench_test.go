@@ -1,0 +1,511 @@
+package apna
+
+// Benchmark harness: one testing.B benchmark per paper artifact plus
+// the ablations listed in DESIGN.md §3.
+//
+//	E1  -> BenchmarkEphIDIssuance{,Parallel}, BenchmarkMSHandleRequest
+//	E3  -> BenchmarkBorderEgress/<size> (Figure 8a/8b raw pipeline)
+//	A1  -> BenchmarkEphIDMint/Open, BenchmarkCertSign/Verify
+//	A2  -> BenchmarkPacketMAC*/BenchmarkHeader*
+//	A3  -> BenchmarkBaselineForward/<size>
+//	A4  -> BenchmarkSessionSeal/Open
+//	A5  -> BenchmarkAcquire/<granularity>
+//	E5' -> BenchmarkConnectionEstablishment (wall-clock cost of the
+//	       full handshake machinery, complementing the virtual-time
+//	       experiment)
+//
+// Run: go test -bench=. -benchmem
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"apna/internal/aa"
+	"apna/internal/baseline"
+	"apna/internal/border"
+	"apna/internal/cert"
+	"apna/internal/crypto"
+	"apna/internal/ephid"
+	"apna/internal/host"
+	"apna/internal/hostdb"
+	"apna/internal/ms"
+	"apna/internal/pktgen"
+	"apna/internal/rpki"
+	"apna/internal/session"
+	"apna/internal/trace"
+	"apna/internal/wire"
+)
+
+var paperSizes = pktgen.PaperPacketSizes
+
+// --- A1: EphID construction ------------------------------------------------
+
+func benchSealer(b *testing.B) *ephid.Sealer {
+	b.Helper()
+	secret, err := crypto.NewASSecret()
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := ephid.NewSealer(secret)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+func BenchmarkEphIDMint(b *testing.B) {
+	s := benchSealer(b)
+	p := ephid.Payload{HID: 42, ExpTime: 1 << 30}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = s.Mint(p)
+	}
+}
+
+func BenchmarkEphIDOpen(b *testing.B) {
+	s := benchSealer(b)
+	e := s.Mint(ephid.Payload{HID: 42, ExpTime: 1 << 30})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Open(e); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCertSign(b *testing.B) {
+	signer, _ := crypto.GenerateSigner()
+	c := &cert.Cert{ExpTime: 1 << 30, AID: 1}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Sign(signer)
+	}
+}
+
+func BenchmarkCertVerify(b *testing.B) {
+	signer, _ := crypto.GenerateSigner()
+	c := &cert.Cert{ExpTime: 1 << 30, AID: 1}
+	c.Sign(signer)
+	pub := signer.PublicKey()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := c.Verify(pub, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E1: MS issuance ---------------------------------------------------------
+
+func benchMS(b *testing.B) (*ms.Service, *ms.Request, crypto.HostASKeys, ephid.EphID) {
+	b.Helper()
+	secret, _ := crypto.NewASSecret()
+	sealer, _ := ephid.NewSealer(secret)
+	signer, _ := crypto.GenerateSigner()
+	db := hostdb.New()
+	keys := crypto.DeriveHostASKeys([]byte("bench-host"))
+	db.Put(hostdb.Entry{HID: 1, Keys: keys})
+	aaEphID := sealer.Mint(ephid.Payload{HID: 99, ExpTime: 1 << 30})
+	svc := ms.New(1, sealer, signer, db, ms.DefaultPolicy(), aaEphID, func() int64 { return 1000 })
+
+	dh, _ := crypto.GenerateKeyPair()
+	sig, _ := crypto.GenerateSigner()
+	req := &ms.Request{Kind: ephid.KindData, Lifetime: 900}
+	copy(req.DHPub[:], dh.PublicKey())
+	copy(req.SigPub[:], sig.PublicKey())
+	ctrl := sealer.Mint(ephid.Payload{HID: 1, ExpTime: 1 << 30})
+	return svc, req, keys, ctrl
+}
+
+// BenchmarkEphIDIssuance is the unit of the paper's Section V-A3 table:
+// mint + certificate signature (the paper measured 13.7us on a 2012
+// desktop; the dominant cost in both is one Ed25519 signature).
+func BenchmarkEphIDIssuance(b *testing.B) {
+	svc, req, _, _ := benchMS(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := svc.Issue(1, req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEphIDIssuanceParallel reproduces the paper's 4-process
+// parallelization (run with -cpu to vary).
+func BenchmarkEphIDIssuanceParallel(b *testing.B) {
+	svc, req, _, _ := benchMS(b)
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := svc.Issue(1, req); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkMSHandleRequest measures the full Figure 3 request path:
+// source-EphID decryption, host lookup, request AEAD, issuance, reply
+// AEAD.
+func BenchmarkMSHandleRequest(b *testing.B) {
+	svc, req, keys, ctrl := benchMS(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		ct, err := ms.EncodeRequest(keys.Enc[:], ctrl, req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if _, err := svc.HandleRequest(ctrl, ct); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E3/A3: forwarding pipelines --------------------------------------------
+
+func BenchmarkBorderEgress(b *testing.B) {
+	for _, size := range paperSizes {
+		b.Run(fmt.Sprintf("%dB", size), func(b *testing.B) {
+			f, err := pktgen.NewFixture(64, size)
+			if err != nil {
+				b.Fatal(err)
+			}
+			pipe := f.Router.NewEgressPipeline()
+			b.SetBytes(int64(size))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if v := pipe.Process(f.Frames[i&63]); v != border.VerdictForward {
+					b.Fatalf("verdict %v", v)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkBorderIngress(b *testing.B) {
+	f, err := pktgen.NewFixture(64, 256)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Rewrite destination EphIDs so ingress checks run against local
+	// hosts.
+	frames := make([][]byte, len(f.Frames))
+	for i, frame := range f.Frames {
+		dup := append([]byte(nil), frame...)
+		dst := f.Sealer.Mint(ephid.Payload{HID: ephid.HID(i + 1), ExpTime: uint32(f.Now) + 3600})
+		copy(dup[40:56], dst[:])
+		frames[i] = dup
+	}
+	pipe := f.Router.NewIngressPipeline()
+	b.SetBytes(256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if v, _ := pipe.Process(frames[i&63]); v != border.VerdictForward {
+			b.Fatalf("verdict %v", v)
+		}
+	}
+}
+
+func BenchmarkBaselineForward(b *testing.B) {
+	for _, size := range paperSizes {
+		b.Run(fmt.Sprintf("%dB", size), func(b *testing.B) {
+			f, err := pktgen.NewFixture(64, size)
+			if err != nil {
+				b.Fatal(err)
+			}
+			fwd := baseline.New(map[ephid.AID]ephid.AID{200: 200})
+			b.SetBytes(int64(size))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if !fwd.Process(f.Frames[i&63]) {
+					b.Fatal("dropped")
+				}
+			}
+		})
+	}
+}
+
+// --- A2: per-packet MAC and header codec --------------------------------------
+
+func BenchmarkPacketMACVerify(b *testing.B) {
+	for _, size := range paperSizes {
+		b.Run(fmt.Sprintf("%dB", size), func(b *testing.B) {
+			key := crypto.DeriveKey([]byte("k"), "bench", crypto.SymKeySize)
+			pm, err := wire.NewPacketMAC(key)
+			if err != nil {
+				b.Fatal(err)
+			}
+			p := wire.Packet{Payload: make([]byte, size-wire.HeaderSize)}
+			p.Header.HopLimit = 9
+			frame, _ := p.Encode()
+			pm.Apply(frame)
+			b.SetBytes(int64(size))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if !pm.Verify(frame) {
+					b.Fatal("verify failed")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkHeaderDecode(b *testing.B) {
+	p := wire.Packet{Payload: []byte("x")}
+	frame, _ := p.Encode()
+	var h wire.Header
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := h.DecodeFromBytes(frame); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHeaderSerialize(b *testing.B) {
+	var h wire.Header
+	buf := make([]byte, wire.HeaderSize)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := h.SerializeTo(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- A4: session encryption ----------------------------------------------------
+
+func benchSessionPair(b *testing.B) (*session.Session, *session.Session) {
+	b.Helper()
+	aKey, _ := crypto.GenerateKeyPair()
+	bKey, _ := crypto.GenerateKeyPair()
+	var aID, bID ephid.EphID
+	aID[0], bID[0] = 1, 2
+	sa, err := session.New(aKey, bKey.PublicKey(), aID, bID)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sb, err := session.New(bKey, aKey.PublicKey(), bID, aID)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sa, sb
+}
+
+func BenchmarkSessionSeal(b *testing.B) {
+	for _, size := range []int{64, 256, 1400} {
+		b.Run(fmt.Sprintf("%dB", size), func(b *testing.B) {
+			sa, _ := benchSessionPair(b)
+			pt := make([]byte, size)
+			b.SetBytes(int64(size))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sa.Seal(pt, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkSessionOpen(b *testing.B) {
+	sa, sb := benchSessionPair(b)
+	ct, _ := sa.Seal(make([]byte, 256), nil)
+	b.SetBytes(256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := sb.Open(ct, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- A5: EphID granularity -------------------------------------------------------
+
+func BenchmarkAcquire(b *testing.B) {
+	newHost := func(b *testing.B, n int) *host.Host {
+		h, err := host.New(host.Config{
+			AID: 1, Trust: rpki.NewTrustStore(nil), Now: func() int64 { return 0 },
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			o := &host.OwnedEphID{}
+			o.Cert.ExpTime = 1 << 30
+			o.Cert.EphID[0], o.Cert.EphID[1] = byte(i), byte(i>>8)
+			h.AddEphID(o)
+		}
+		return h
+	}
+	b.Run("per-host", func(b *testing.B) {
+		h := newHost(b, 1024)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := h.Acquire(host.PerHost, ""); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("per-application", func(b *testing.B) {
+		h := newHost(b, 1024)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := h.Acquire(host.PerApplication, "browser"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("per-flow", func(b *testing.B) {
+		// Per-flow consumes identifiers: each op is acquire+release,
+		// modeling a flow's lifecycle.
+		h := newHost(b, 1024)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			o, err := h.Acquire(host.PerFlow, "")
+			if err != nil {
+				b.Fatal(err)
+			}
+			o.InUse = false
+		}
+	})
+}
+
+// --- Shutoff and establishment ------------------------------------------------------
+
+func BenchmarkShutoffHandleRequest(b *testing.B) {
+	now := int64(1_000_000)
+	srcSecret, _ := crypto.NewASSecret()
+	srcSealer, _ := ephid.NewSealer(srcSecret)
+	db := hostdb.New()
+	keys := crypto.DeriveHostASKeys([]byte("att"))
+	db.Put(hostdb.Entry{HID: 9, Keys: keys})
+
+	dstSigner, _ := crypto.GenerateSigner()
+	auth, _ := rpki.NewAuthority()
+	dh, _ := crypto.GenerateKeyPair()
+	rec, _ := auth.Certify(200, dstSigner.PublicKey(), dh.PublicKey(), now+86400)
+	trust := rpki.NewTrustStore(auth.PublicKey())
+	if err := trust.Add(rec); err != nil {
+		b.Fatal(err)
+	}
+
+	dstKeys, _ := crypto.GenerateSigner()
+	dstDH, _ := crypto.GenerateKeyPair()
+	var dstEphID ephid.EphID
+	dstEphID[0] = 7
+	dstCert := cert.Cert{Kind: ephid.KindData, EphID: dstEphID, ExpTime: uint32(now) + 600, AID: 200}
+	copy(dstCert.DHPub[:], dstDH.PublicKey())
+	copy(dstCert.SigPub[:], dstKeys.PublicKey())
+	dstCert.Sign(dstSigner)
+
+	srcEphID := srcSealer.Mint(ephid.Payload{HID: 9, ExpTime: uint32(now) + 600})
+	p := wire.Packet{
+		Header: wire.Header{
+			HopLimit: 9, Nonce: 1, SrcAID: 100, DstAID: 200,
+			SrcEphID: srcEphID, DstEphID: dstEphID,
+		},
+		Payload: []byte("flood"),
+	}
+	frame, _ := p.Encode()
+	pm, _ := wire.NewPacketMAC(keys.MAC[:])
+	pm.Apply(frame)
+	req := aa.BuildRequest(frame, &dstCert, dstKeys)
+
+	agent := aa.New(aa.Config{AID: 100}, srcSealer, db, srcSecret, trust,
+		func() int64 { return now })
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := agent.HandleShutoff(req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkConnectionEstablishment measures the wall-clock cost of a
+// full handshake across the simulated internet (two X25519 exchanges,
+// two certificate verifications, the handshake round trip).
+func BenchmarkConnectionEstablishment(b *testing.B) {
+	in, err := NewInternet(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := in.AddAS(1); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := in.AddAS(2); err != nil {
+		b.Fatal(err)
+	}
+	if err := in.Connect(1, 2, time.Microsecond); err != nil {
+		b.Fatal(err)
+	}
+	if err := in.Build(); err != nil {
+		b.Fatal(err)
+	}
+	alice, err := in.AddHost(1, "alice")
+	if err != nil {
+		b.Fatal(err)
+	}
+	bob, err := in.AddHost(2, "bob")
+	if err != nil {
+		b.Fatal(err)
+	}
+	idA, err := alice.NewEphID(ephid.KindData, 1<<20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	idB, err := bob.NewEphID(ephid.KindData, 1<<20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := alice.Connect(idA, &idB.Cert, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTraceGeneration sizes the synthetic-trace substrate.
+func BenchmarkTraceGeneration(b *testing.B) {
+	cfg := trace.Config{Hosts: 10_000, Duration: time.Hour, PeakRate: 1000}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i)
+		if _, err := trace.Generate(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRevocationListLookup sizes the per-packet revocation check
+// under a large list (Section VIII-G2's scaling concern).
+func BenchmarkRevocationListLookup(b *testing.B) {
+	var l border.RevocationList
+	var probe ephid.EphID
+	for i := 0; i < 100_000; i++ {
+		var e ephid.EphID
+		e[0], e[1], e[2] = byte(i), byte(i>>8), byte(i>>16)
+		l.Insert(e, 1<<30)
+		if i == 0 {
+			probe = e
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !l.Contains(probe) {
+			b.Fatal("missing")
+		}
+	}
+}

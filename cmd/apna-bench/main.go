@@ -1,0 +1,95 @@
+// Command apna-bench regenerates the paper's evaluation artifacts
+// (Section V and Section VII-C): the MS performance table, the trace
+// statistics it is sized against, both Figure 8 forwarding series, and
+// the connection-establishment latency analysis. See EXPERIMENTS.md for
+// the recorded paper-vs-measured comparison.
+//
+// Usage:
+//
+//	apna-bench -exp all            # everything, paper-scale trace
+//	apna-bench -exp e1 -requests 500000 -workers 4
+//	apna-bench -exp e3 -pkts 200000
+//	apna-bench -exp e2 -small     # quick synthetic trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"apna/internal/experiments"
+	"apna/internal/trace"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiment: e1, e2, e3 (includes e4), e5, all")
+		requests = flag.Int("requests", 500_000, "E1: number of EphID requests")
+		workers  = flag.Int("workers", 4, "E1: parallel issuance workers (paper: 4)")
+		fwdHosts = flag.Int("hosts", 256, "E3: simulated source hosts")
+		pkts     = flag.Int("pkts", 500_000, "E3: packets per worker")
+		fwdWork  = flag.Int("fwd-workers", runtime.NumCPU(), "E3: forwarding workers (cores)")
+		small    = flag.Bool("small", false, "E2: use a small trace instead of paper scale")
+		oneWay   = flag.Duration("oneway", 25*time.Millisecond, "E5: one-way inter-AS latency")
+		seed     = flag.Int64("seed", 1, "E2: trace seed")
+	)
+	flag.Parse()
+
+	run := func(name string) bool { return *exp == "all" || *exp == name }
+	peak := 0
+
+	if run("e2") || run("e1") {
+		cfg := trace.PaperScale()
+		if *small {
+			cfg = trace.Config{Hosts: 50_000, Duration: time.Hour, PeakRate: 3_800, Seed: *seed}
+		}
+		cfg.Seed = *seed
+		fmt.Fprintf(os.Stderr, "generating %v synthetic trace (%d hosts)...\n", cfg.Duration, cfg.Hosts)
+		stats, err := experiments.RunE2(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		peak = stats.PeakRate
+		if run("e2") {
+			experiments.FprintE2(os.Stdout, stats)
+			fmt.Println()
+		}
+	}
+
+	if run("e1") {
+		fmt.Fprintf(os.Stderr, "issuing %d EphIDs on %d workers...\n", *requests, *workers)
+		res, err := experiments.RunE1(*requests, *workers, peak)
+		if err != nil {
+			fatal(err)
+		}
+		res.Fprint(os.Stdout)
+		fmt.Println()
+	}
+
+	if run("e3") || run("e4") {
+		fmt.Fprintf(os.Stderr, "forwarding sweep: %d hosts, %d workers, %d pkts/worker...\n",
+			*fwdHosts, *fwdWork, *pkts)
+		results, err := experiments.RunE3(*fwdHosts, *fwdWork, *pkts)
+		if err != nil {
+			fatal(err)
+		}
+		experiments.FprintE3(os.Stdout, results)
+		fmt.Println()
+	}
+
+	if run("e5") {
+		res, err := experiments.RunE5(*oneWay)
+		if err != nil {
+			fatal(err)
+		}
+		experiments.FprintE5(os.Stdout, res)
+		fmt.Println()
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "apna-bench:", err)
+	os.Exit(1)
+}

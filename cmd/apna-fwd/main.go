@@ -1,0 +1,49 @@
+// Command apna-fwd runs only the border-router forwarding experiment
+// (paper Section V-B3, Figure 8): the egress pipeline is driven at full
+// speed with valid frames of the paper's five packet sizes, and the
+// results are reported as packet rate (Mpps) and bit rate (Gbps)
+// against the 120 Gbps line-rate ceiling of the paper's testbed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+
+	"apna/internal/experiments"
+	"apna/internal/pktgen"
+)
+
+func main() {
+	var (
+		hosts   = flag.Int("hosts", 256, "simulated source hosts")
+		workers = flag.Int("workers", runtime.NumCPU(), "forwarding workers")
+		pkts    = flag.Int("pkts", 500_000, "packets per worker")
+		sizes   = flag.String("sizes", "", "comma-separated frame sizes (default: paper's 128,256,512,1024,1518)")
+		cap     = flag.Float64("capacity", pktgen.PaperCapacityGbps, "line-rate capacity in Gbps")
+	)
+	flag.Parse()
+
+	sizeList := pktgen.PaperPacketSizes
+	if *sizes != "" {
+		sizeList = nil
+		for _, s := range strings.Split(*sizes, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "apna-fwd: bad size:", s)
+				os.Exit(2)
+			}
+			sizeList = append(sizeList, n)
+		}
+	}
+
+	results, err := pktgen.Sweep(*hosts, *workers, *pkts, *cap, sizeList)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "apna-fwd:", err)
+		os.Exit(1)
+	}
+	experiments.FprintE3(os.Stdout, results)
+}

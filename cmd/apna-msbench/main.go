@@ -1,0 +1,28 @@
+// Command apna-msbench runs only the MS EphID-generation experiment
+// (paper Section V-A3): N issuance requests across W workers, reporting
+// total time, per-EphID latency and the generation rate.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"apna/internal/experiments"
+)
+
+func main() {
+	var (
+		requests = flag.Int("requests", 500_000, "number of EphID requests")
+		workers  = flag.Int("workers", 4, "parallel workers (paper: 4 processes)")
+		peak     = flag.Int("peak", 3_888, "peak demand for the headroom figure (0 to omit)")
+	)
+	flag.Parse()
+
+	res, err := experiments.RunE1(*requests, *workers, *peak)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "apna-msbench:", err)
+		os.Exit(1)
+	}
+	res.Fprint(os.Stdout)
+}

@@ -1,0 +1,116 @@
+// Gateway: an unmodified IPv4 client reaches an APNA service through an
+// APNA gateway (paper Section VII-D).
+//
+// The gateway bootstraps as a host of AS 100, pre-acquires a pool of
+// EphIDs, and translates the client's IPv4/UDP flows into APNA sessions
+// — one fresh EphID per IPv4 flow, so even the legacy client's flows
+// are unlinkable in the APNA core.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"apna"
+	"apna/internal/ephid"
+	"apna/internal/gateway"
+	"apna/internal/host"
+	"apna/internal/wire"
+)
+
+func main() {
+	in, err := apna.NewInternet(5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mustAS(in, 100)
+	mustAS(in, 200)
+	must(in.Connect(100, 200, 12*time.Millisecond))
+	must(in.Build())
+
+	// The gateway is an ordinary APNA host of AS 100.
+	gwHost, err := in.AddHost(100, "gateway")
+	if err != nil {
+		log.Fatal(err)
+	}
+	var toLegacy [][]byte
+	gw := gateway.New(gwHost.Stack, func(pkt []byte) { toLegacy = append(toLegacy, pkt) })
+	for i := 0; i < 4; i++ {
+		if _, err := gwHost.NewEphID(ephid.KindData, 900); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// A native APNA server in AS 200.
+	server, err := in.AddHost(200, "server")
+	if err != nil {
+		log.Fatal(err)
+	}
+	idS, err := server.NewEphID(ephid.KindData, 3600)
+	if err != nil {
+		log.Fatal(err)
+	}
+	server.Stack.OnMessage(func(m host.Message) {
+		fmt.Printf("server got segment % x | %q\n", m.Payload[:4], m.Payload[4:])
+		reply := append(append([]byte{}, m.Payload[2], m.Payload[3], m.Payload[0], m.Payload[1]),
+			[]byte("pong from APNA")...)
+		if err := server.Stack.Respond(m, reply); err != nil {
+			log.Printf("respond: %v", err)
+		}
+	})
+
+	// The gateway learns the server mapping, as it would from a DNS
+	// reply, and tells the legacy side which IPv4 address to use.
+	serverIP := gw.LearnFromDNS(&idS.Cert)
+	fmt.Printf("gateway maps virtual IP %s to the server's AID:EphID\n", ip4(serverIP))
+
+	// The legacy client emits two plain IPv4/UDP packets.
+	clientIP := uint32(0x0A000005) // 10.0.0.5
+	for i, port := range []uint16{40001, 40002} {
+		pkt := udp(clientIP, serverIP, port, 7777, fmt.Sprintf("ping #%d", i+1))
+		must(gw.HandleIPv4(pkt))
+	}
+	in.RunUntilIdle()
+
+	for _, pkt := range toLegacy {
+		var h wire.IPv4Header
+		must(h.DecodeFromBytes(pkt))
+		fmt.Printf("legacy client got IPv4 %s -> %s: %q\n",
+			ip4(h.SrcIP), ip4(h.DstIP), pkt[wire.IPv4HeaderSize+4:])
+	}
+	fmt.Printf("gateway translated %d packets; two flows used two distinct EphIDs\n",
+		gw.Translated)
+}
+
+func udp(src, dst uint32, sport, dport uint16, body string) []byte {
+	seg := make([]byte, 4+len(body))
+	seg[0], seg[1] = byte(sport>>8), byte(sport)
+	seg[2], seg[3] = byte(dport>>8), byte(dport)
+	copy(seg[4:], body)
+	buf := make([]byte, wire.IPv4HeaderSize+len(seg))
+	h := wire.IPv4Header{
+		TotalLen: uint16(len(buf)), TTL: 64, Protocol: 17, SrcIP: src, DstIP: dst,
+	}
+	if err := h.SerializeTo(buf); err != nil {
+		log.Fatal(err)
+	}
+	copy(buf[wire.IPv4HeaderSize:], seg)
+	return buf
+}
+
+func ip4(v uint32) string {
+	return fmt.Sprintf("%d.%d.%d.%d", byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+func mustAS(in *apna.Internet, aid apna.AID) {
+	if _, err := in.AddAS(aid); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,110 @@
+// NAT sharing: several devices share one subscription through a
+// NAT-mode access point (paper Section VII-B).
+//
+// The AP is the AS's only visible host. It relays EphID requests that
+// carry the clients' own public keys, keeps the EphID_info list binding
+// issued EphIDs to clients, verifies client MACs and swaps in its own
+// AS MAC on the way out. When the AS holds the AP accountable for a
+// misbehaving EphID, the AP names the device.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"apna"
+	"apna/internal/ap"
+	"apna/internal/cert"
+	"apna/internal/crypto"
+	"apna/internal/ephid"
+	"apna/internal/wire"
+)
+
+func main() {
+	in, err := apna.NewInternet(3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mustAS(in, 100)
+	mustAS(in, 200)
+	must(in.Connect(100, 200, 10*time.Millisecond))
+	must(in.Build())
+
+	apHost, err := in.AddHost(100, "cafe-ap")
+	if err != nil {
+		log.Fatal(err)
+	}
+	nat := ap.NewNAT(apHost.Stack, in.Sim)
+
+	peer, err := in.AddHost(200, "peer")
+	if err != nil {
+		log.Fatal(err)
+	}
+	idPeer, err := peer.NewEphID(ephid.KindData, 3600)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var peerGot []string
+	peer.Stack.RegisterRawHandler(wire.ProtoSession, func(hdr *wire.Header, payload []byte) {
+		peerGot = append(peerGot, string(payload))
+	})
+
+	// Two devices join the cafe WiFi.
+	for _, name := range []string{"laptop", "phone"} {
+		client, err := nat.AdmitClient(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		dh, _ := crypto.GenerateKeyPair()
+		sig, _ := crypto.GenerateSigner()
+		var issued ephid.EphID
+		must(nat.RequestEphIDForClient(name, ephid.KindData, 900,
+			dh.PublicKey(), sig.PublicKey(), func(c *cert.Cert, err error) {
+				if err != nil {
+					log.Fatal(err)
+				}
+				issued = c.EphID
+			}))
+		in.RunUntilIdle()
+		fmt.Printf("%s received EphID %v through the AP\n", name, issued)
+
+		// The AS sees only the AP behind this EphID.
+		p, err := in.AS(100).Sealer().Open(issued)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  AS100 decodes it to HID %v — the AP's, not the device's\n", p.HID)
+
+		frame, err := client.BuildFrame(wire.ProtoSession, issued, 100,
+			idPeer.Endpoint(), 1, []byte("hello from "+name))
+		if err != nil {
+			log.Fatal(err)
+		}
+		client.Send(frame)
+		in.RunUntilIdle()
+
+		// Accountability one level down: the AP can name the device.
+		owner, err := nat.Identify(issued)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  AP's EphID_info attributes the EphID to %q\n", owner)
+	}
+
+	fmt.Printf("peer received %d messages: %q\n", len(peerGot), peerGot)
+	fmt.Printf("AP forwarded %d frames, rejected %d with bad client MACs\n",
+		nat.Forwarded, nat.DroppedBadMAC)
+}
+
+func mustAS(in *apna.Internet, aid apna.AID) {
+	if _, err := in.AddAS(aid); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

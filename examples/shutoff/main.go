@@ -1,0 +1,97 @@
+// Shutoff: a flooding source is revoked through the accountability
+// agent (paper Sections IV-E and VI-C, Figure 5).
+//
+// The attacker floods the victim; the victim presents one offending
+// packet — signed with its own EphID key — to the attacker AS's
+// accountability agent. The agent verifies the evidence chain
+// (certificate, signature, packet MAC), revokes the source EphID at the
+// border routers, and eventually — after repeated strikes — revokes the
+// attacker's HID entirely (the CAS-style ladder of Section VIII-G2).
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"apna"
+	"apna/internal/ephid"
+)
+
+func main() {
+	opts := apna.DefaultOptions()
+	opts.StrikeLimit = 3
+	in, err := apna.NewInternetWithOptions(99, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mustAS(in, 100)
+	mustAS(in, 200)
+	must(in.Connect(100, 200, 8*time.Millisecond))
+	must(in.Build())
+
+	attacker, err := in.AddHost(100, "attacker")
+	if err != nil {
+		log.Fatal(err)
+	}
+	victim, err := in.AddHost(200, "victim")
+	if err != nil {
+		log.Fatal(err)
+	}
+	idV, err := victim.NewEphID(ephid.KindData, 3600)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for strike := 1; strike <= 3; strike++ {
+		idX, err := attacker.NewEphID(ephid.KindData, 900)
+		if err != nil {
+			fmt.Printf("strike %d: attacker can no longer obtain EphIDs: %v\n", strike, err)
+			return
+		}
+		conn, err := attacker.Connect(idX, &idV.Cert, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for i := 0; i < 5; i++ {
+			must(attacker.Send(conn, []byte("FLOOD FLOOD FLOOD")))
+		}
+		msgs := victim.Stack.Inbox()
+		fmt.Printf("strike %d: victim absorbed %d flood packets from EphID %v\n",
+			strike, len(msgs), idX.Cert.EphID)
+
+		ok, err := victim.Shutoff(msgs[0])
+		if err != nil || !ok {
+			log.Fatalf("shutoff failed: %v", err)
+		}
+		fmt.Printf("strike %d: shutoff accepted; EphID revoked at AS100\n", strike)
+
+		// The flood stops: egress drops at the attacker's own AS.
+		must(attacker.Send(conn, []byte("FLOOD?")))
+		if len(victim.Stack.Inbox()) == 0 {
+			fmt.Printf("strike %d: further flood packets die at the source AS\n", strike)
+		}
+	}
+
+	// After the third strike the AS revoked the attacker's HID.
+	if _, err := attacker.NewEphID(ephid.KindData, 900); err != nil {
+		fmt.Printf("after 3 strikes: HID revoked, MS refuses the attacker (%v)\n", err)
+	}
+	// The victim's AS-level view: revocation list and drop counters.
+	st := in.AS(100).Router.Stats()
+	fmt.Printf("AS100 revocation list holds %d EphIDs; shutoff never touched other hosts\n",
+		in.AS(100).Router.Revoked().Len())
+	_ = st
+}
+
+func mustAS(in *apna.Internet, aid apna.AID) {
+	if _, err := in.AddAS(aid); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,98 @@
+// Webservice: a public server with a receive-only EphID in DNS
+// (paper Section VII-A).
+//
+// The server publishes a receive-only EphID under "shop.example"; a
+// client resolves the name over an encrypted DNS session, connects, and
+// the server answers from a *serving* EphID, so shutoff requests can
+// never target the published identifier. The example also shows the
+// 0-RTT establishment variant of Section VII-C.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"apna"
+	"apna/internal/ephid"
+	"apna/internal/host"
+)
+
+func main() {
+	in, err := apna.NewInternet(7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, aid := range []apna.AID{10, 20, 30} {
+		if _, err := in.AddAS(aid); err != nil {
+			log.Fatal(err)
+		}
+	}
+	must(in.Connect(10, 20, 15*time.Millisecond))
+	must(in.Connect(20, 30, 15*time.Millisecond))
+	must(in.Build())
+
+	server, err := in.AddHost(30, "server")
+	if err != nil {
+		log.Fatal(err)
+	}
+	client, err := in.AddHost(10, "client")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The server acquires a long-lived receive-only EphID for DNS and
+	// a pool of serving EphIDs, then publishes the name.
+	recvOnly, err := server.NewEphID(ephid.KindReceiveOnly, 24*3600)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := server.NewEphID(ephid.KindData, 3600); err != nil {
+		log.Fatal(err)
+	}
+	must(server.Publish("shop.example", &recvOnly.Cert))
+	fmt.Printf("published shop.example -> receive-only EphID %v\n", recvOnly.Cert.EphID)
+
+	// The server application: answer every request.
+	server.Stack.OnMessage(func(m host.Message) {
+		fmt.Printf("server got %q on serving EphID %v\n", m.Payload, m.Flow.Dst.EphID)
+		if err := server.Stack.Respond(m, append([]byte("echo: "), m.Payload...)); err != nil {
+			log.Printf("respond: %v", err)
+		}
+	})
+
+	// Client: resolve, then connect with 0-RTT data riding on the
+	// very first packet.
+	idDNS, err := client.NewEphID(ephid.KindData, 900)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resolved, err := client.Resolve(idDNS, "shop.example")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("resolved shop.example (kind=%v)\n", resolved.Kind)
+
+	idConn, err := client.NewEphID(ephid.KindData, 900)
+	if err != nil {
+		log.Fatal(err)
+	}
+	conn, err := client.Connect(idConn, resolved, []byte("GET /catalog (0-RTT)"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("connection migrated to serving EphID %v (receive-only stays shielded)\n",
+		conn.Peer().EphID)
+
+	// A regular request after establishment.
+	must(client.Send(conn, []byte("GET /checkout")))
+	for _, m := range client.Stack.Inbox() {
+		fmt.Printf("client got: %q\n", m.Payload)
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,210 @@
+package apna
+
+import (
+	"fmt"
+
+	"apna/internal/cert"
+	"apna/internal/crypto"
+	"apna/internal/dns"
+	"apna/internal/ephid"
+	"apna/internal/host"
+	"apna/internal/netsim"
+	"apna/internal/wire"
+)
+
+// Host is a bootstrapped end host attached to an AS. It wraps the
+// protocol stack (internal/host) with synchronous conveniences that
+// drive the simulator until the requested operation completes.
+type Host struct {
+	// Name is the subscriber name used at authentication.
+	Name string
+	// Stack is the underlying protocol stack.
+	Stack *host.Host
+
+	as   *AS
+	hid  HID
+	link *netsim.Link
+
+	shutoffAcks []byte
+}
+
+// AddHost registers a subscriber with the AS, bootstraps it (Figure 2),
+// and attaches its stack to the border router.
+func (in *Internet) AddHost(aid AID, name string) (*Host, error) {
+	as, ok := in.ases[aid]
+	if !ok {
+		return nil, fmt.Errorf("%w: %v", ErrUnknownAS, aid)
+	}
+	// Provision a credential — the facade plays the subscription
+	// office.
+	credential := name + "-credential"
+	as.creds[credential] = name
+
+	hostKey, err := crypto.GenerateKeyPair()
+	if err != nil {
+		return nil, err
+	}
+	boot, err := as.RS.Bootstrap([]byte(credential), hostKey.PublicKey())
+	if err != nil {
+		return nil, err
+	}
+	// Verify the signed bootstrap information against the AS key from
+	// the trust store, as the host side of Figure 2 prescribes.
+	asKey, err := in.Trust.SigKey(aid, in.Sim.NowUnix())
+	if err != nil {
+		return nil, err
+	}
+	if err := boot.IDInfo.Verify(asKey); err != nil {
+		return nil, err
+	}
+	// kHA: the host derives its AS keys from the DH exchange.
+	dhSecret, err := hostKey.SharedSecret(boot.ASDHPub[:])
+	if err != nil {
+		return nil, err
+	}
+
+	stack, err := host.New(host.Config{
+		AID: aid, HID: boot.HID,
+		Keys:      crypto.DeriveHostASKeys(dhSecret),
+		CtrlEphID: boot.IDInfo.ControlEphID,
+		MSCert:    boot.MSCert, DNSCert: boot.DNSCert,
+		Trust: in.Trust, Now: in.Sim.NowUnix,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	h := &Host{Name: name, Stack: stack, as: as, hid: boot.HID}
+	h.link = in.Sim.NewLink("host-"+name, in.opts.HostLinkLatency, 0)
+	as.Router.AttachHost(boot.HID, h.link.A())
+	stack.Attach(h.link.B())
+
+	// Surface shutoff acknowledgments.
+	stack.RegisterRawHandler(wire.ProtoShutoff, func(_ *wire.Header, payload []byte) {
+		if len(payload) == 1 {
+			h.shutoffAcks = append(h.shutoffAcks, payload[0])
+		}
+	})
+	return h, nil
+}
+
+// AS returns the host's AS.
+func (h *Host) AS() *AS { return h.as }
+
+// HID returns the host's identifier within its AS.
+func (h *Host) HID() HID { return h.hid }
+
+// NewEphID synchronously requests a fresh EphID from the AS's MS
+// (Figure 3), driving the simulator until the reply arrives.
+func (h *Host) NewEphID(kind ephid.Kind, lifetime uint32) (*host.OwnedEphID, error) {
+	var (
+		got  *host.OwnedEphID
+		fail error
+		done bool
+	)
+	err := h.Stack.RequestEphID(kind, lifetime, func(o *host.OwnedEphID, err error) {
+		got, fail, done = o, err, true
+	})
+	if err != nil {
+		return nil, err
+	}
+	h.as.in.RunUntilIdle()
+	if !done {
+		return nil, ErrTimeout
+	}
+	return got, fail
+}
+
+// Connect synchronously establishes a connection to a peer certificate
+// (Section IV-D1). data0RTT, if non-nil, rides in the first packet
+// (Section VII-C).
+func (h *Host) Connect(local *host.OwnedEphID, peerCert *cert.Cert, data0RTT []byte) (*host.Conn, error) {
+	conn, err := h.Stack.Dial(local, peerCert, host.DialOptions{Data0RTT: data0RTT})
+	if err != nil {
+		return nil, err
+	}
+	h.as.in.RunUntilIdle()
+	if !conn.Established() {
+		return nil, ErrTimeout
+	}
+	return conn, nil
+}
+
+// Send transmits application data on an established connection and runs
+// the simulator until delivery.
+func (h *Host) Send(conn *host.Conn, data []byte) error {
+	if err := conn.Send(data); err != nil {
+		return err
+	}
+	h.as.in.RunUntilIdle()
+	return nil
+}
+
+// Publish registers name -> certificate in the shared zone, as a server
+// operator does for a receive-only EphID (Section VII-A).
+func (h *Host) Publish(name string, c *cert.Cert) error {
+	_, err := h.as.in.Zone.Register(name, c, int64(c.ExpTime))
+	return err
+}
+
+// Resolve queries the AS's DNS service for a name over an encrypted
+// session and verifies the returned record against the zone key. The
+// returned certificate is additionally verified against its issuing
+// AS's key before use by Connect.
+func (h *Host) Resolve(local *host.OwnedEphID, name string) (*cert.Cert, error) {
+	dnsCert := h.Stack.Config().DNSCert
+	conn, err := h.Connect(local, &dnsCert, nil)
+	if err != nil {
+		return nil, fmt.Errorf("apna: dialing DNS: %w", err)
+	}
+	q, err := dns.EncodeQuery(name)
+	if err != nil {
+		return nil, err
+	}
+	if err := h.Send(conn, q); err != nil {
+		return nil, err
+	}
+	for _, m := range h.Stack.Inbox() {
+		status, rec, err := dns.DecodeResponse(m.Payload)
+		if err != nil {
+			continue
+		}
+		if status != dns.StatusOK {
+			return nil, dns.ErrNXDomain
+		}
+		if err := rec.Verify(h.as.in.Zone.PublicKey(), h.as.in.Sim.NowUnix()); err != nil {
+			return nil, err
+		}
+		return &rec.Cert, nil
+	}
+	return nil, ErrTimeout
+}
+
+// Shutoff sends a shutoff request for the flow that delivered m and
+// returns the agent's acknowledgment status (true = revoked).
+func (h *Host) Shutoff(m host.Message) (bool, error) {
+	before := len(h.shutoffAcks)
+	if err := h.Stack.RequestShutoff(m); err != nil {
+		return false, err
+	}
+	h.as.in.RunUntilIdle()
+	if len(h.shutoffAcks) == before {
+		return false, ErrTimeout
+	}
+	return h.shutoffAcks[len(h.shutoffAcks)-1] == 1, nil
+}
+
+// Ping sends an ICMP echo and reports whether the reply arrived.
+func (h *Host) Ping(dst Endpoint, seq uint16) (bool, error) {
+	replied := false
+	h.Stack.OnEchoReply(func(s uint16) {
+		if s == seq {
+			replied = true
+		}
+	})
+	if err := h.Stack.Ping(dst, seq); err != nil {
+		return false, err
+	}
+	h.as.in.RunUntilIdle()
+	return replied, nil
+}

@@ -1,0 +1,106 @@
+package apna
+
+import (
+	"testing"
+
+	"apna/internal/ephid"
+	"apna/internal/icmp"
+	"apna/internal/wire"
+)
+
+// TestICMPDestUnreachableOnExpiredEphID exercises the router-originated
+// ICMP feedback of Section VIII-B: a packet to an expired destination
+// EphID is dropped at the destination AS, whose border router answers
+// with a dest-unreachable error sent from its own EphID — so the sender
+// learns of the failure without the router sacrificing privacy.
+func TestICMPDestUnreachableOnExpiredEphID(t *testing.T) {
+	w := newWorld(t)
+	idA := w.ephID(t, w.alice)
+
+	var errs []struct {
+		typ, code uint8
+	}
+	w.alice.Stack.OnICMPError(func(typ, code uint8, quoted []byte) {
+		errs = append(errs, struct{ typ, code uint8 }{typ, code})
+		// The quoted frame lets the source attribute the error to its
+		// own flow.
+		if len(quoted) == 0 || wire.FrameSrcEphID(quoted) != idA.Cert.EphID {
+			t.Error("quote does not identify the offending flow")
+		}
+	})
+
+	// Craft a destination EphID at AS 300 that is already expired.
+	expired := w.in.AS(300).Sealer().Mint(ephid.Payload{
+		HID:     w.carol.HID(),
+		ExpTime: uint32(w.in.Now() - 10),
+	})
+	err := w.alice.Stack.SendRaw(wire.ProtoSession, 0, idA.Cert.EphID,
+		Endpoint{AID: 300, EphID: expired}, []byte("doomed"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.in.RunUntilIdle()
+
+	if len(errs) != 1 {
+		t.Fatalf("ICMP errors received: %d", len(errs))
+	}
+	if errs[0].typ != uint8(icmp.TypeDestUnreachable) || errs[0].code != icmp.CodeEphIDExpired {
+		t.Errorf("got type %d code %d", errs[0].typ, errs[0].code)
+	}
+}
+
+// TestICMPNoFeedbackForSpoofedPackets: drops whose source cannot be
+// authenticated (bad MAC) must not generate ICMP — feedback to a forged
+// source would be a reflection primitive.
+func TestICMPNoFeedbackForSpoofedPackets(t *testing.T) {
+	w := newWorld(t)
+	idA := w.ephID(t, w.alice)
+	mallory, err := w.in.AddHost(100, "mallory2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.ephID(t, mallory)
+
+	fired := 0
+	w.alice.Stack.OnICMPError(func(uint8, uint8, []byte) { fired++ })
+	mallory.Stack.OnICMPError(func(uint8, uint8, []byte) { fired++ })
+
+	// Mallory spoofs alice's EphID; her MAC cannot verify.
+	idC := w.ephID(t, w.carol)
+	if err := mallory.Stack.SendRaw(wire.ProtoSession, 0, idA.Cert.EphID,
+		Endpoint{AID: 300, EphID: idC.Cert.EphID}, []byte("spoof")); err != nil {
+		t.Fatal(err)
+	}
+	w.in.RunUntilIdle()
+	if fired != 0 {
+		t.Errorf("spoofed packet generated %d ICMP errors", fired)
+	}
+}
+
+// TestICMPRevokedFeedback: after a shutoff, the revoked sender gets
+// dest-unreachable/revoked feedback instead of silent drops.
+func TestICMPRevokedFeedback(t *testing.T) {
+	w := newWorld(t)
+	idA := w.ephID(t, w.alice)
+	idC := w.ephID(t, w.carol)
+	conn, err := w.alice.Connect(idA, &idC.Cert, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.alice.Send(conn, []byte("flood")); err != nil {
+		t.Fatal(err)
+	}
+	msgs := w.carol.Stack.Inbox()
+	if ok, err := w.carol.Shutoff(msgs[0]); err != nil || !ok {
+		t.Fatalf("shutoff: %v %v", ok, err)
+	}
+
+	var codes []uint8
+	w.alice.Stack.OnICMPError(func(typ, code uint8, _ []byte) { codes = append(codes, code) })
+	if err := w.alice.Send(conn, []byte("again")); err != nil {
+		t.Fatal(err)
+	}
+	if len(codes) != 1 || codes[0] != icmp.CodeEphIDRevoked {
+		t.Errorf("codes = %v", codes)
+	}
+}

@@ -1,0 +1,359 @@
+// Package border implements the APNA border router (paper Section IV-D3,
+// Figure 4, evaluated in Section V-B).
+//
+// The router runs three pipelines:
+//
+//   - Egress (outgoing packets from the AS's own hosts): decrypt and
+//     validate the source EphID, check the revocation list, look up the
+//     host in host_info, verify the per-packet MAC — then forward toward
+//     the destination AS. These checks guarantee that only authenticated
+//     packets from authorized EphIDs leave the source AS.
+//   - Ingress (packets arriving for the AS's own hosts): decrypt and
+//     validate the destination EphID, check revocation and host
+//     validity, then deliver to the host identified by the decrypted
+//     HID.
+//   - Transit (packets for other ASes): forward on the destination AID
+//     with no cryptographic work, preserving line-rate transit.
+//
+// Only symmetric cryptography appears on these paths (design choice 3,
+// Section IV), which is why the paper's prototype forwards at the NIC
+// line rate.
+package border
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"apna/internal/crypto"
+	"apna/internal/ephid"
+	"apna/internal/hostdb"
+	"apna/internal/netsim"
+	"apna/internal/wire"
+)
+
+// Verdict classifies the outcome of pipeline processing.
+type Verdict uint8
+
+const (
+	// VerdictForward means the packet passed all checks.
+	VerdictForward Verdict = iota
+	// VerdictDropMalformed: not a valid APNA frame.
+	VerdictDropMalformed
+	// VerdictDropBadEphID: EphID failed authentication (forged or
+	// foreign).
+	VerdictDropBadEphID
+	// VerdictDropExpired: EphID expired.
+	VerdictDropExpired
+	// VerdictDropRevoked: EphID is on the revocation list.
+	VerdictDropRevoked
+	// VerdictDropUnknownHost: HID not registered or revoked.
+	VerdictDropUnknownHost
+	// VerdictDropBadMAC: per-packet MAC verification failed (spoofed
+	// source).
+	VerdictDropBadMAC
+	// VerdictDropNoRoute: no route toward the destination AID.
+	VerdictDropNoRoute
+	// VerdictDropHopLimit: hop limit exhausted in transit.
+	VerdictDropHopLimit
+	// VerdictDropControlLeak: a control-flagged packet tried to leave
+	// the AS.
+	VerdictDropControlLeak
+)
+
+// String names the verdict.
+func (v Verdict) String() string {
+	switch v {
+	case VerdictForward:
+		return "forward"
+	case VerdictDropMalformed:
+		return "drop-malformed"
+	case VerdictDropBadEphID:
+		return "drop-bad-ephid"
+	case VerdictDropExpired:
+		return "drop-expired"
+	case VerdictDropRevoked:
+		return "drop-revoked"
+	case VerdictDropUnknownHost:
+		return "drop-unknown-host"
+	case VerdictDropBadMAC:
+		return "drop-bad-mac"
+	case VerdictDropNoRoute:
+		return "drop-no-route"
+	case VerdictDropHopLimit:
+		return "drop-hop-limit"
+	case VerdictDropControlLeak:
+		return "drop-control-leak"
+	default:
+		return "drop-unknown"
+	}
+}
+
+const verdictCount = 10
+
+// Stats counts router outcomes, indexed by Verdict.
+type Stats struct {
+	counters [verdictCount]atomic.Uint64
+	// Delivered counts packets handed to local hosts.
+	Delivered atomic.Uint64
+	// Transited counts packets forwarded between neighbor ASes.
+	Transited atomic.Uint64
+	// Egressed counts local packets sent toward other ASes.
+	Egressed atomic.Uint64
+}
+
+func (s *Stats) count(v Verdict) { s.counters[v].Add(1) }
+
+// Get returns the counter for a verdict.
+func (s *Stats) Get(v Verdict) uint64 { return s.counters[v].Load() }
+
+// Router is one AS's border router.
+type Router struct {
+	aid    ephid.AID
+	sealer *ephid.Sealer
+	db     *hostdb.DB
+	now    func() int64
+
+	revoked RevocationList
+	ctlCMAC ctlVerifier
+	stats   Stats
+
+	mu        sync.RWMutex
+	routes    netsim.Routes
+	asPorts   map[ephid.AID]*netsim.Port // neighbor AID -> external port
+	hostPorts map[ephid.HID]*netsim.Port // local HID -> internal port
+
+	// icmpSender, when set, is invited to emit ICMP errors for
+	// dropped packets (Section VIII-B). It must not retain frame.
+	icmpSender func(reason Verdict, frame []byte)
+}
+
+// New creates a border router. now supplies Unix seconds.
+func New(aid ephid.AID, sealer *ephid.Sealer, db *hostdb.DB, secret *crypto.ASSecret, now func() int64) (*Router, error) {
+	r := &Router{
+		aid: aid, sealer: sealer, db: db, now: now,
+		asPorts:   make(map[ephid.AID]*netsim.Port),
+		hostPorts: make(map[ephid.HID]*netsim.Port),
+	}
+	if err := r.ctlCMAC.init(secret.InfraControlKey()); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// AID returns the router's AS identifier.
+func (r *Router) AID() ephid.AID { return r.aid }
+
+// Stats exposes the router's counters.
+func (r *Router) Stats() *Stats { return &r.stats }
+
+// SetICMPSender installs the ICMP error hook.
+func (r *Router) SetICMPSender(fn func(reason Verdict, frame []byte)) { r.icmpSender = fn }
+
+// SetRoutes installs the inter-domain next-hop table.
+func (r *Router) SetRoutes(routes netsim.Routes) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.routes = routes
+}
+
+// AttachNeighbor binds an external port toward a neighbor AS.
+func (r *Router) AttachNeighbor(aid ephid.AID, p *netsim.Port) {
+	p.Attach(netsim.HandlerFunc(r.handleExternal), "ext:"+aid.String())
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.asPorts[aid] = p
+}
+
+// AttachHost binds an internal port toward a local host or service.
+func (r *Router) AttachHost(hid ephid.HID, p *netsim.Port) {
+	p.Attach(netsim.HandlerFunc(r.handleInternal), "int:"+hid.String())
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.hostPorts[hid] = p
+}
+
+// DetachHost removes a host port (host left the network).
+func (r *Router) DetachHost(hid ephid.HID) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.hostPorts, hid)
+}
+
+// handleInternal processes frames from local hosts: the egress pipeline
+// plus intra-AS delivery.
+func (r *Router) handleInternal(frame []byte, _ *netsim.Port) {
+	if !wire.ValidFrame(frame) {
+		r.stats.count(VerdictDropMalformed)
+		return
+	}
+	v, macKey := r.EgressVerify(frame)
+	if v != VerdictForward {
+		r.drop(v, frame)
+		return
+	}
+	_ = macKey
+	if wire.FrameDstAID(frame) == r.aid {
+		// Intra-AS traffic (host to host or host to service): deliver
+		// through the ingress checks so revocation applies.
+		if v := r.deliverLocal(frame); v != VerdictForward {
+			r.drop(v, frame)
+		}
+		return
+	}
+	if wire.FrameFlags(frame)&wire.FlagControl != 0 {
+		// Control traffic must never leave the AS.
+		r.drop(VerdictDropControlLeak, frame)
+		return
+	}
+	if !r.forwardInterdomain(frame) {
+		r.drop(VerdictDropNoRoute, frame)
+		return
+	}
+	r.stats.Egressed.Add(1)
+}
+
+// HandleExternalFrame injects a frame as if it arrived from a neighbor
+// AS — the hook used by gateways and by adversary simulations (replay
+// injection).
+func (r *Router) HandleExternalFrame(frame []byte) { r.handleExternal(frame, nil) }
+
+// HandleInternalFrame injects a frame as if it arrived from a local
+// host (gateway translation path).
+func (r *Router) HandleInternalFrame(frame []byte) { r.handleInternal(frame, nil) }
+
+// handleExternal processes frames from neighbor ASes: ingress delivery
+// or transit forwarding.
+func (r *Router) handleExternal(frame []byte, _ *netsim.Port) {
+	if !wire.ValidFrame(frame) {
+		r.stats.count(VerdictDropMalformed)
+		return
+	}
+	if wire.FrameDstAID(frame) == r.aid {
+		if v := r.deliverLocal(frame); v != VerdictForward {
+			r.drop(v, frame)
+		}
+		return
+	}
+	// Transit: decrement hop limit, forward on AID.
+	if !wire.FrameDecrementHopLimit(frame) {
+		r.drop(VerdictDropHopLimit, frame)
+		return
+	}
+	if !r.forwardInterdomain(frame) {
+		r.drop(VerdictDropNoRoute, frame)
+		return
+	}
+	r.stats.Transited.Add(1)
+}
+
+// EgressVerify runs the outgoing-packet checks of Figure 4 (bottom) and
+// returns the verdict plus, on success, the host's MAC key. It is
+// exported because the forwarding benchmark drives it directly.
+func (r *Router) EgressVerify(frame []byte) (Verdict, [crypto.SymKeySize]byte) {
+	var zero [crypto.SymKeySize]byte
+
+	// (HID_S, expTime) = Dec(kA, EphID_s).
+	p, err := r.sealer.Open(wire.FrameSrcEphID(frame))
+	if err != nil {
+		return VerdictDropBadEphID, zero
+	}
+	if p.Expired(r.now()) {
+		return VerdictDropExpired, zero
+	}
+	// EphID_s not revoked.
+	if r.revoked.Contains(wire.FrameSrcEphID(frame)) {
+		return VerdictDropRevoked, zero
+	}
+	// HID_S valid; fetch kHA.
+	macKey, err := r.db.MACKey(p.HID)
+	if err != nil {
+		return VerdictDropUnknownHost, zero
+	}
+	// Verify the packet MAC.
+	pm, err := wire.NewPacketMAC(macKey[:])
+	if err != nil || !pm.Verify(frame) {
+		return VerdictDropBadMAC, zero
+	}
+	return VerdictForward, macKey
+}
+
+// IngressVerify runs the incoming-packet checks of Figure 4 (top),
+// returning the verdict and, on success, the destination HID.
+func (r *Router) IngressVerify(frame []byte) (Verdict, ephid.HID) {
+	p, err := r.sealer.Open(wire.FrameDstEphID(frame))
+	if err != nil {
+		return VerdictDropBadEphID, 0
+	}
+	if p.Expired(r.now()) {
+		return VerdictDropExpired, 0
+	}
+	if r.revoked.Contains(wire.FrameDstEphID(frame)) {
+		return VerdictDropRevoked, 0
+	}
+	if !r.db.Valid(p.HID) {
+		return VerdictDropUnknownHost, 0
+	}
+	return VerdictForward, p.HID
+}
+
+// deliverLocal runs ingress verification and hands the frame to the
+// destination host's port.
+func (r *Router) deliverLocal(frame []byte) Verdict {
+	v, hid := r.IngressVerify(frame)
+	if v != VerdictForward {
+		return v
+	}
+	r.mu.RLock()
+	port, ok := r.hostPorts[hid]
+	r.mu.RUnlock()
+	if !ok {
+		return VerdictDropUnknownHost
+	}
+	port.Send(frame)
+	r.stats.Delivered.Add(1)
+	return VerdictForward
+}
+
+// DeliverToHost hands a frame directly to a local host's port,
+// bypassing the ingress pipeline. It exists for AS-internal feedback to
+// the AS's own authenticated customers — e.g. ICMP errors about a
+// just-revoked EphID, which could never pass the revocation check that
+// caused them (Section VIII-B).
+func (r *Router) DeliverToHost(hid ephid.HID, frame []byte) bool {
+	r.mu.RLock()
+	port, ok := r.hostPorts[hid]
+	r.mu.RUnlock()
+	if !ok {
+		return false
+	}
+	port.Send(frame)
+	return true
+}
+
+// forwardInterdomain sends the frame toward the destination AID via the
+// next-hop table.
+func (r *Router) forwardInterdomain(frame []byte) bool {
+	dst := wire.FrameDstAID(frame)
+	r.mu.RLock()
+	nh, ok := r.routes[dst]
+	if !ok {
+		// Directly connected neighbor without an explicit route.
+		if _, direct := r.asPorts[dst]; direct {
+			nh, ok = dst, true
+		}
+	}
+	port := r.asPorts[nh]
+	r.mu.RUnlock()
+	if !ok || port == nil {
+		return false
+	}
+	port.Send(frame)
+	return true
+}
+
+func (r *Router) drop(v Verdict, frame []byte) {
+	r.stats.count(v)
+	if r.icmpSender != nil {
+		r.icmpSender(v, frame)
+	}
+}

@@ -1,0 +1,149 @@
+package border
+
+import (
+	"encoding/binary"
+	"errors"
+	"sync"
+
+	"apna/internal/crypto"
+	"apna/internal/ephid"
+)
+
+// RevocationList is the revoked_ids set border routers consult per
+// packet (Figure 4). Entries carry the EphID's expiration time so that
+// expired entries can be garbage collected: packets with expired EphIDs
+// are dropped by the expiry check anyway, so keeping them on the list
+// buys nothing (Section VIII-G2).
+type RevocationList struct {
+	mu      sync.RWMutex
+	entries map[ephid.EphID]uint32 // EphID -> its ExpTime
+}
+
+// Insert adds an EphID with its expiration time.
+func (l *RevocationList) Insert(e ephid.EphID, expTime uint32) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.entries == nil {
+		l.entries = make(map[ephid.EphID]uint32)
+	}
+	l.entries[e] = expTime
+}
+
+// Contains reports whether e is revoked.
+func (l *RevocationList) Contains(e ephid.EphID) bool {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	_, ok := l.entries[e]
+	return ok
+}
+
+// GC removes entries whose EphIDs have expired by nowUnix, returning
+// how many were removed.
+func (l *RevocationList) GC(nowUnix int64) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := 0
+	for e, exp := range l.entries {
+		if int64(exp) < nowUnix {
+			delete(l.entries, e)
+			n++
+		}
+	}
+	return n
+}
+
+// Len reports the number of revoked EphIDs currently tracked.
+func (l *RevocationList) Len() int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return len(l.entries)
+}
+
+// RevocationOrder is the authenticated "revoke EphID_s" instruction the
+// accountability agent sends to border routers (the MAC_kAS(revoke
+// EphID_s) message of Figure 5).
+type RevocationOrder struct {
+	EphID   ephid.EphID
+	ExpTime uint32
+	MAC     [8]byte
+}
+
+// OrderSize is the wire size of a revocation order.
+const OrderSize = ephid.Size + 4 + 8
+
+const orderContext = "apna/v1/revoke"
+
+// ErrBadOrder means a revocation order failed authentication.
+var ErrBadOrder = errors.New("border: revocation order authentication failed")
+
+// SignOrder builds an authenticated revocation order under the AS's
+// infrastructure control key.
+func SignOrder(secret *crypto.ASSecret, e ephid.EphID, expTime uint32) (*RevocationOrder, error) {
+	c, err := crypto.NewCMAC(secret.InfraControlKey())
+	if err != nil {
+		return nil, err
+	}
+	o := &RevocationOrder{EphID: e, ExpTime: expTime}
+	var exp [4]byte
+	binary.BigEndian.PutUint32(exp[:], expTime)
+	c.SumTruncated(o.MAC[:], 8, []byte(orderContext), e[:], exp[:])
+	return o, nil
+}
+
+// Encode serializes the order.
+func (o *RevocationOrder) Encode() []byte {
+	buf := make([]byte, 0, OrderSize)
+	buf = append(buf, o.EphID[:]...)
+	buf = binary.BigEndian.AppendUint32(buf, o.ExpTime)
+	return append(buf, o.MAC[:]...)
+}
+
+// DecodeOrder parses a serialized order (without verifying it).
+func DecodeOrder(data []byte) (*RevocationOrder, error) {
+	if len(data) != OrderSize {
+		return nil, ErrBadOrder
+	}
+	var o RevocationOrder
+	copy(o.EphID[:], data)
+	o.ExpTime = binary.BigEndian.Uint32(data[ephid.Size:])
+	copy(o.MAC[:], data[ephid.Size+4:])
+	return &o, nil
+}
+
+// ctlVerifier verifies revocation orders; one per router, guarded by a
+// mutex since orders are rare control-plane events.
+type ctlVerifier struct {
+	mu   sync.Mutex
+	cmac *crypto.CMAC
+}
+
+func (v *ctlVerifier) init(key []byte) error {
+	c, err := crypto.NewCMAC(key)
+	if err != nil {
+		return err
+	}
+	v.cmac = c
+	return nil
+}
+
+func (v *ctlVerifier) verify(o *RevocationOrder) bool {
+	var exp [4]byte
+	binary.BigEndian.PutUint32(exp[:], o.ExpTime)
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.cmac.Verify(o.MAC[:], []byte(orderContext), o.EphID[:], exp[:])
+}
+
+// ApplyOrder verifies and applies a revocation order. Routers only
+// accept orders authenticated with the AS's infrastructure key —
+// "if !verifyMAC(kAS, ...) abort" in Figure 5.
+func (r *Router) ApplyOrder(o *RevocationOrder) error {
+	if !r.ctlCMAC.verify(o) {
+		return ErrBadOrder
+	}
+	r.revoked.Insert(o.EphID, o.ExpTime)
+	return nil
+}
+
+// Revoked exposes the revocation list (for GC scheduling and tests).
+func (r *Router) Revoked() *RevocationList { return &r.revoked }

@@ -1,0 +1,91 @@
+package crypto
+
+import (
+	"bytes"
+	"crypto/aes"
+	"testing"
+	"testing/quick"
+)
+
+func TestCBCMACOneBlockEqualsAES(t *testing.T) {
+	// For a single block, CBC-MAC(k, m) == AES-ECB(k, m). Cross-check
+	// against the standard library block cipher.
+	key := mustHex(t, "2b7e151628aed2a6abf7158809cf4f3c")
+	msg := mustHex(t, "6bc1bee22e409f96e93d7e117393172a")
+	want := mustHex(t, "3ad77bb40d7a3660a89ecaf32466ef97") // FIPS-197 vector
+
+	m, err := NewCBCMAC(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tag [aes.BlockSize]byte
+	m.Tag(&tag, msg)
+	if !bytes.Equal(tag[:], want) {
+		t.Errorf("tag = %x, want %x", tag, want)
+	}
+	if !m.Verify(want, msg) {
+		t.Error("Verify rejected correct tag")
+	}
+	if !m.Verify(want[:4], msg) {
+		t.Error("Verify rejected correct 4-byte truncated tag")
+	}
+}
+
+func TestCBCMACRejectsWrongLength(t *testing.T) {
+	m, err := NewCBCMAC(make([]byte, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{0, 1, 15, 17, 32} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("length %d: expected panic", n)
+				}
+			}()
+			var tag [aes.BlockSize]byte
+			m.Tag(&tag, make([]byte, n))
+		}()
+	}
+}
+
+func TestCBCMACTamperDetection(t *testing.T) {
+	m, err := NewCBCMAC(make([]byte, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(msg [16]byte, flip uint8) bool {
+		var tag [aes.BlockSize]byte
+		m.Tag(&tag, msg[:])
+		mutated := msg
+		mutated[int(flip)%16] ^= 1 << (flip % 8)
+		if mutated == msg {
+			return true // flipping zero bits is not a tamper
+		}
+		return !m.Verify(tag[:4], mutated[:])
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCBCMACTruncated(t *testing.T) {
+	m, err := NewCBCMAC(make([]byte, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := make([]byte, 16)
+	var full [aes.BlockSize]byte
+	m.Tag(&full, msg)
+	var short [4]byte
+	m.TagTruncated(short[:], 4, msg)
+	if !bytes.Equal(short[:], full[:4]) {
+		t.Errorf("truncated = %x, want %x", short, full[:4])
+	}
+	if m.Verify(nil, msg) {
+		t.Error("empty tag accepted")
+	}
+	if m.Verify(make([]byte, 17), msg) {
+		t.Error("over-long tag accepted")
+	}
+}

@@ -1,0 +1,127 @@
+package crypto
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/subtle"
+	"fmt"
+)
+
+// cmacRb is the constant used in CMAC subkey generation for 128-bit block
+// ciphers (RFC 4493, Section 2.3).
+const cmacRb = 0x87
+
+// CMAC computes AES-CMAC (RFC 4493) message authentication codes. It is
+// used for the per-packet MAC that cryptographically links every APNA
+// packet to its sender. A CMAC value is safe for variable-length
+// messages, unlike raw CBC-MAC.
+//
+// A CMAC is not safe for concurrent use; each goroutine should own its
+// instance (the border router pipeline allocates one per worker).
+type CMAC struct {
+	block cipher.Block
+	k1    [aes.BlockSize]byte
+	k2    [aes.BlockSize]byte
+
+	// scratch state reused across Sum calls to avoid allocation on the
+	// packet fast path.
+	x   [aes.BlockSize]byte
+	buf [aes.BlockSize]byte
+}
+
+// NewCMAC returns a CMAC keyed with the given AES key (16, 24 or 32
+// bytes).
+func NewCMAC(key []byte) (*CMAC, error) {
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, fmt.Errorf("crypto: cmac key: %w", err)
+	}
+	c := &CMAC{block: block}
+	var l [aes.BlockSize]byte
+	block.Encrypt(l[:], l[:])
+	dbl(&c.k1, &l)
+	dbl(&c.k2, &c.k1)
+	return c, nil
+}
+
+// dbl sets dst to the left-shift-by-one of src in GF(2^128), the subkey
+// doubling operation of RFC 4493.
+func dbl(dst, src *[aes.BlockSize]byte) {
+	var carry byte
+	for i := aes.BlockSize - 1; i >= 0; i-- {
+		b := src[i]
+		dst[i] = b<<1 | carry
+		carry = b >> 7
+	}
+	// Constant-time conditional XOR of Rb into the last byte.
+	dst[aes.BlockSize-1] ^= carry * cmacRb
+}
+
+// Sum appends the full 16-byte CMAC of the concatenation of the msg
+// segments to out and returns the extended slice. Accepting the message
+// as segments lets callers MAC a packet header and payload without
+// copying them into one buffer.
+func (c *CMAC) Sum(out []byte, msg ...[]byte) []byte {
+	c.sum(msg...)
+	return append(out, c.x[:]...)
+}
+
+// sum computes the CMAC into c.x without allocating — the router fast
+// path verifies one MAC per packet and must not allocate per packet.
+func (c *CMAC) sum(msg ...[]byte) {
+	clear(c.x[:])
+	fill := 0 // number of pending bytes in c.buf
+	total := 0
+	for _, seg := range msg {
+		total += len(seg)
+		for len(seg) > 0 {
+			if fill == aes.BlockSize {
+				// Flush a full, definitely-not-final block.
+				xorBlock(&c.x, c.buf[:])
+				c.block.Encrypt(c.x[:], c.x[:])
+				fill = 0
+			}
+			n := copy(c.buf[fill:], seg)
+			fill += n
+			seg = seg[n:]
+		}
+	}
+	if total > 0 && fill == aes.BlockSize {
+		// Final complete block: XOR with K1.
+		xorBlock(&c.x, c.buf[:])
+		xorBlock(&c.x, c.k1[:])
+	} else {
+		// Final incomplete (or empty) block: pad with 10* and XOR K2.
+		c.buf[fill] = 0x80
+		clear(c.buf[fill+1:])
+		xorBlock(&c.x, c.buf[:])
+		xorBlock(&c.x, c.k2[:])
+	}
+	c.block.Encrypt(c.x[:], c.x[:])
+}
+
+// SumTruncated computes the CMAC of the message segments truncated to n
+// bytes, written into dst (which must be at least n bytes long). It
+// does not allocate.
+func (c *CMAC) SumTruncated(dst []byte, n int, msg ...[]byte) {
+	c.sum(msg...)
+	copy(dst[:n], c.x[:n])
+}
+
+// Verify reports whether tag is a valid (possibly truncated) CMAC for the
+// message segments. The comparison is constant time and the check does
+// not allocate.
+func (c *CMAC) Verify(tag []byte, msg ...[]byte) bool {
+	if len(tag) == 0 || len(tag) > aes.BlockSize {
+		return false
+	}
+	c.sum(msg...)
+	return subtle.ConstantTimeCompare(tag, c.x[:len(tag)]) == 1
+}
+
+// xorBlock XORs the 16-byte block b into x.
+func xorBlock(x *[aes.BlockSize]byte, b []byte) {
+	for i := 0; i < aes.BlockSize; i++ {
+		x[i] ^= b[i]
+	}
+}

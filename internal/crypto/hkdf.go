@@ -1,0 +1,56 @@
+package crypto
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"fmt"
+)
+
+// hashLen is the output size of the HKDF hash function (SHA-256).
+const hashLen = sha256.Size
+
+// HKDFExtract implements the HKDF-Extract step of RFC 5869 using
+// HMAC-SHA256. A nil or empty salt is replaced by a string of hashLen
+// zeros, as the RFC specifies.
+func HKDFExtract(salt, ikm []byte) []byte {
+	if len(salt) == 0 {
+		salt = make([]byte, hashLen)
+	}
+	mac := hmac.New(sha256.New, salt)
+	mac.Write(ikm)
+	return mac.Sum(nil)
+}
+
+// HKDFExpand implements the HKDF-Expand step of RFC 5869 using
+// HMAC-SHA256. It derives length bytes of output keying material from the
+// pseudorandom key prk and the context info. It panics if length is
+// larger than 255*hashLen, the RFC-imposed maximum.
+func HKDFExpand(prk, info []byte, length int) []byte {
+	if length > 255*hashLen {
+		panic(fmt.Sprintf("crypto: HKDF expand length %d exceeds maximum %d", length, 255*hashLen))
+	}
+	out := make([]byte, 0, length)
+	var t []byte
+	for i := byte(1); len(out) < length; i++ {
+		mac := hmac.New(sha256.New, prk)
+		mac.Write(t)
+		mac.Write(info)
+		mac.Write([]byte{i})
+		t = mac.Sum(nil)
+		out = append(out, t...)
+	}
+	return out[:length]
+}
+
+// HKDF derives length bytes from the initial keying material ikm using
+// the full extract-then-expand construction of RFC 5869.
+func HKDF(ikm, salt, info []byte, length int) []byte {
+	return HKDFExpand(HKDFExtract(salt, ikm), info, length)
+}
+
+// DeriveKey is the repository-wide labelled key derivation: it binds the
+// derived key to a human-readable purpose label so that keys derived for
+// different purposes from the same secret are independent.
+func DeriveKey(secret []byte, label string, length int) []byte {
+	return HKDF(secret, nil, []byte(label), length)
+}

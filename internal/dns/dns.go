@@ -1,0 +1,232 @@
+// Package dns implements the name service of Section VII-A: servers
+// publish a receive-only EphID certificate under a domain name, and
+// clients resolve names to certificates before dialing. Records are
+// signed by a zone authority (the paper assumes DNSSEC), and queries
+// travel over ordinary APNA sessions, so "only the DNS server and the
+// host know the content of the query".
+package dns
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+
+	"apna/internal/cert"
+	"apna/internal/crypto"
+	"apna/internal/host"
+)
+
+// Errors returned by the resolver machinery.
+var (
+	ErrNameTooLong = errors.New("dns: name exceeds 255 bytes")
+	ErrBadMessage  = errors.New("dns: malformed message")
+	ErrBadRecord   = errors.New("dns: record signature invalid")
+	ErrStaleRecord = errors.New("dns: record expired")
+	ErrNXDomain    = errors.New("dns: no such name")
+)
+
+const recordSigLabel = "apna/v1/dns/record"
+
+// SignedRecord binds a name to an EphID certificate, signed by the zone
+// authority (DNSSEC stand-in).
+type SignedRecord struct {
+	Name     string
+	Cert     cert.Cert
+	NotAfter int64
+	Sig      [crypto.SignatureSize]byte
+}
+
+func (r *SignedRecord) appendTBS(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(r.Name)))
+	dst = append(dst, r.Name...)
+	raw, _ := r.Cert.MarshalBinary()
+	dst = append(dst, raw...)
+	return binary.BigEndian.AppendUint64(dst, uint64(r.NotAfter))
+}
+
+// Encode serializes the signed record.
+func (r *SignedRecord) Encode() []byte {
+	out := r.appendTBS(nil)
+	return append(out, r.Sig[:]...)
+}
+
+// DecodeRecord parses a signed record.
+func DecodeRecord(data []byte) (*SignedRecord, error) {
+	if len(data) < 2 {
+		return nil, ErrBadMessage
+	}
+	n := int(binary.BigEndian.Uint16(data))
+	want := 2 + n + cert.Size + 8 + crypto.SignatureSize
+	if len(data) != want {
+		return nil, fmt.Errorf("%w: record length %d, want %d", ErrBadMessage, len(data), want)
+	}
+	var r SignedRecord
+	r.Name = string(data[2 : 2+n])
+	off := 2 + n
+	if err := r.Cert.UnmarshalBinary(data[off : off+cert.Size]); err != nil {
+		return nil, err
+	}
+	off += cert.Size
+	r.NotAfter = int64(binary.BigEndian.Uint64(data[off:]))
+	off += 8
+	copy(r.Sig[:], data[off:])
+	return &r, nil
+}
+
+// Verify checks the zone signature and freshness of a record.
+func (r *SignedRecord) Verify(zonePub []byte, nowUnix int64) error {
+	if !crypto.Verify(zonePub, recordSigLabel, r.appendTBS(nil), r.Sig[:]) {
+		return ErrBadRecord
+	}
+	if r.NotAfter < nowUnix {
+		return ErrStaleRecord
+	}
+	return nil
+}
+
+// Zone is the signed name database. One Zone is shared by every
+// resolver in the simulation, standing in for the global DNS plus its
+// DNSSEC chain.
+type Zone struct {
+	signer *crypto.Signer
+
+	mu      sync.RWMutex
+	records map[string]*SignedRecord
+}
+
+// NewZone creates a zone with a fresh signing key.
+func NewZone() (*Zone, error) {
+	s, err := crypto.GenerateSigner()
+	if err != nil {
+		return nil, err
+	}
+	return &Zone{signer: s, records: make(map[string]*SignedRecord)}, nil
+}
+
+// PublicKey returns the zone verification key clients pin.
+func (z *Zone) PublicKey() []byte { return z.signer.PublicKey() }
+
+// Register signs and stores a record for name. Re-registering a name
+// replaces the record — the paper's rotation path when a published
+// EphID must change.
+func (z *Zone) Register(name string, c *cert.Cert, notAfter int64) (*SignedRecord, error) {
+	if len(name) > 255 {
+		return nil, ErrNameTooLong
+	}
+	r := &SignedRecord{Name: name, Cert: *c, NotAfter: notAfter}
+	copy(r.Sig[:], z.signer.Sign(recordSigLabel, r.appendTBS(nil)))
+	z.mu.Lock()
+	defer z.mu.Unlock()
+	z.records[name] = r
+	return r, nil
+}
+
+// Lookup returns the record for name.
+func (z *Zone) Lookup(name string) (*SignedRecord, error) {
+	z.mu.RLock()
+	defer z.mu.RUnlock()
+	r, ok := z.records[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNXDomain, name)
+	}
+	return r, nil
+}
+
+// Poison overwrites a record without signing it correctly — a test
+// helper modeling the malicious-resolver attack of Section VII-A. The
+// rogue record carries the attacker's certificate but cannot carry a
+// valid zone signature.
+func (z *Zone) Poison(name string, rogue *cert.Cert) {
+	z.mu.Lock()
+	defer z.mu.Unlock()
+	z.records[name] = &SignedRecord{Name: name, Cert: *rogue, NotAfter: 1<<62 - 1}
+}
+
+// Wire messages carried inside APNA sessions.
+const (
+	msgQuery    = 0x01
+	msgResponse = 0x02
+
+	// StatusOK and StatusNXDomain are response status codes.
+	StatusOK       = 0
+	StatusNXDomain = 1
+)
+
+// EncodeQuery builds a query message for name.
+func EncodeQuery(name string) ([]byte, error) {
+	if len(name) > 255 {
+		return nil, ErrNameTooLong
+	}
+	buf := make([]byte, 0, 3+len(name))
+	buf = append(buf, msgQuery)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(name)))
+	return append(buf, name...), nil
+}
+
+// DecodeQuery parses a query message.
+func DecodeQuery(data []byte) (string, error) {
+	if len(data) < 3 || data[0] != msgQuery {
+		return "", ErrBadMessage
+	}
+	n := int(binary.BigEndian.Uint16(data[1:]))
+	if len(data) != 3+n {
+		return "", ErrBadMessage
+	}
+	return string(data[3:]), nil
+}
+
+// EncodeResponse builds a response message (record may be nil for
+// NXDOMAIN).
+func EncodeResponse(status uint8, rec *SignedRecord) []byte {
+	var raw []byte
+	if rec != nil {
+		raw = rec.Encode()
+	}
+	buf := make([]byte, 0, 4+len(raw))
+	buf = append(buf, msgResponse, status)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(raw)))
+	return append(buf, raw...)
+}
+
+// DecodeResponse parses a response message.
+func DecodeResponse(data []byte) (uint8, *SignedRecord, error) {
+	if len(data) < 4 || data[0] != msgResponse {
+		return 0, nil, ErrBadMessage
+	}
+	status := data[1]
+	n := int(binary.BigEndian.Uint16(data[2:]))
+	if len(data) != 4+n {
+		return 0, nil, ErrBadMessage
+	}
+	if n == 0 {
+		return status, nil, nil
+	}
+	rec, err := DecodeRecord(data[4:])
+	return status, rec, err
+}
+
+// Service mounts a resolver onto a host stack: incoming session
+// messages are parsed as queries and answered from the zone.
+type Service struct {
+	zone *Zone
+}
+
+// NewService creates a resolver backed by the zone.
+func NewService(zone *Zone) *Service { return &Service{zone: zone} }
+
+// Mount installs the query handler on the service's host stack.
+func (s *Service) Mount(h *host.Host) {
+	h.OnMessage(func(m host.Message) {
+		name, err := DecodeQuery(m.Payload)
+		if err != nil {
+			return
+		}
+		rec, err := s.zone.Lookup(name)
+		if err != nil {
+			_ = h.Respond(m, EncodeResponse(StatusNXDomain, nil))
+			return
+		}
+		_ = h.Respond(m, EncodeResponse(StatusOK, rec))
+	})
+}

@@ -1,0 +1,154 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"apna"
+	"apna/internal/ephid"
+	"apna/internal/host"
+)
+
+// E5 reproduces the connection-establishment latency analysis of
+// Section VII-C using the simulator's virtual clock. The paper's
+// accounting, in round-trip times between the two hosts:
+//
+//   - host-to-host, certificates known in advance:   1 RTT before
+//     data can flow, or 0 RTT with data on the first packet;
+//   - client-server through a receive-only EphID:    1.5 RTT until the
+//     server holds the client's first data, reducible to 0.5 RTT (no
+//     0-RTT data) or 0 RTT (data on the first packet, at the cost of
+//     first-packet PFS).
+type E5Result struct {
+	Mode string
+	// InitiatorWait is the virtual time until the initiator may send
+	// (or sent) its first data packet.
+	InitiatorWait time.Duration
+	// FirstDataAtPeer is the virtual time until the responder's
+	// application received the first data byte.
+	FirstDataAtPeer time.Duration
+	// RTT is the base round-trip time of the path, for normalization.
+	RTT time.Duration
+}
+
+// RTTs expresses the initiator wait in round-trip units.
+func (r E5Result) RTTs() float64 { return float64(r.InitiatorWait) / float64(r.RTT) }
+
+// RunE5 measures all four establishment modes over a two-AS path with
+// the given one-way latency.
+func RunE5(oneWay time.Duration) ([]E5Result, error) {
+	var results []E5Result
+	for _, mode := range []string{"host-host", "host-host-0rtt", "client-server", "client-server-0rtt"} {
+		r, err := runE5Mode(mode, oneWay)
+		if err != nil {
+			return nil, fmt.Errorf("mode %s: %w", mode, err)
+		}
+		results = append(results, *r)
+	}
+	return results, nil
+}
+
+func runE5Mode(mode string, oneWay time.Duration) (*E5Result, error) {
+	opts := apna.DefaultOptions()
+	// Zero access latency isolates the inter-domain RTT, matching the
+	// paper's abstract accounting.
+	opts.HostLinkLatency = 0
+	opts.ServiceLinkLatency = 0
+	in, err := apna.NewInternetWithOptions(1, opts)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := in.AddAS(1); err != nil {
+		return nil, err
+	}
+	if _, err := in.AddAS(2); err != nil {
+		return nil, err
+	}
+	if err := in.Connect(1, 2, oneWay); err != nil {
+		return nil, err
+	}
+	if err := in.Build(); err != nil {
+		return nil, err
+	}
+	a, err := in.AddHost(1, "initiator")
+	if err != nil {
+		return nil, err
+	}
+	b, err := in.AddHost(2, "responder")
+	if err != nil {
+		return nil, err
+	}
+
+	idA, err := a.NewEphID(ephid.KindData, 3600)
+	if err != nil {
+		return nil, err
+	}
+	var peerCert *host.OwnedEphID
+	isClientServer := mode == "client-server" || mode == "client-server-0rtt"
+	if isClientServer {
+		if peerCert, err = b.NewEphID(ephid.KindReceiveOnly, 3600); err != nil {
+			return nil, err
+		}
+		if _, err := b.NewEphID(ephid.KindData, 3600); err != nil {
+			return nil, err // serving EphID
+		}
+	} else if peerCert, err = b.NewEphID(ephid.KindData, 3600); err != nil {
+		return nil, err
+	}
+
+	res := &E5Result{Mode: mode, RTT: 2 * oneWay}
+	var firstData time.Duration = -1
+	b.Stack.OnMessage(func(m host.Message) {
+		if firstData < 0 {
+			firstData = in.Sim.Now()
+		}
+	})
+
+	start := in.Sim.Now()
+	zeroRTT := mode == "host-host-0rtt" || mode == "client-server-0rtt"
+	var data0 []byte
+	if zeroRTT {
+		data0 = []byte("first flight data")
+	}
+	conn, err := a.Stack.Dial(idA, &peerCert.Cert, host.DialOptions{
+		Data0RTT: data0,
+		OnEstablish: func(c *host.Conn) {
+			if !zeroRTT {
+				// The initiator waited for the ack before sending.
+				res.InitiatorWait = in.Sim.Now() - start
+				_ = c.Send([]byte("post-establishment data"))
+			}
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	_ = conn
+	in.RunUntilIdle()
+	if zeroRTT {
+		res.InitiatorWait = 0 // data left with the first packet
+	}
+	if firstData < 0 {
+		return nil, fmt.Errorf("no data delivered")
+	}
+	res.FirstDataAtPeer = firstData - start
+	return res, nil
+}
+
+// FprintE5 renders the latency table next to the paper's claims.
+func FprintE5(w io.Writer, results []E5Result) {
+	fmt.Fprintf(w, "E5: connection-establishment latency (Section VII-C)\n")
+	paper := map[string]string{
+		"host-host":          "1 RTT",
+		"host-host-0rtt":     "0 RTT",
+		"client-server":      "0.5 RTT penalty (1.5 RTT total)",
+		"client-server-0rtt": "0 RTT",
+	}
+	fmt.Fprintf(w, "  %-20s %-34s %-22s %s\n", "mode", "paper (wait before data)", "measured wait", "data at peer")
+	for _, r := range results {
+		fmt.Fprintf(w, "  %-20s %-34s %.1f RTT (%v)        %.1f RTT (%v)\n",
+			r.Mode, paper[r.Mode], r.RTTs(), r.InitiatorWait,
+			float64(r.FirstDataAtPeer)/float64(r.RTT), r.FirstDataAtPeer)
+	}
+}

@@ -1,0 +1,89 @@
+package host
+
+import (
+	"fmt"
+
+	"apna/internal/aa"
+	"apna/internal/cert"
+	"apna/internal/icmp"
+	"apna/internal/wire"
+)
+
+// ICMP support (Section VIII-B) and shutoff-request initiation
+// (Section IV-E).
+
+// Ping sends an ICMP echo request to the destination endpoint, sourcing
+// it from a usable EphID (routers and hosts alike use their own EphIDs
+// for ICMP, keeping feedback accountable yet private).
+func (h *Host) Ping(dst wire.Endpoint, seq uint16) error {
+	src := h.pickServing()
+	if src == nil {
+		return ErrNoEphID
+	}
+	m := icmp.Message{Type: icmp.TypeEchoRequest, Seq: seq}
+	return h.send(wire.ProtoICMP, 0, src.Cert.EphID, dst, m.Encode())
+}
+
+// handleICMP answers echo requests and surfaces replies and errors.
+func (h *Host) handleICMP(hdr *wire.Header, payload []byte) {
+	m, err := icmp.Decode(payload)
+	if err != nil {
+		return
+	}
+	switch m.Type {
+	case icmp.TypeEchoRequest:
+		// Reply from the EphID the request addressed, preserving the
+		// correlation the paper's return-address argument relies on.
+		if _, ok := h.pool[hdr.DstEphID]; !ok {
+			return
+		}
+		reply := icmp.Message{Type: icmp.TypeEchoReply, Seq: m.Seq, Body: m.Body}
+		_ = h.send(wire.ProtoICMP, 0, hdr.DstEphID,
+			wire.Endpoint{AID: hdr.SrcAID, EphID: hdr.SrcEphID}, reply.Encode())
+	case icmp.TypeEchoReply:
+		if h.onEcho != nil {
+			h.onEcho(m.Seq)
+		}
+	default:
+		if h.onICMPError != nil {
+			h.onICMPError(uint8(m.Type), m.Code, m.Body)
+		}
+	}
+}
+
+// PeerCert returns the certificate the peer presented on the given
+// flow, which carries the accountability agent coordinates needed for a
+// shutoff.
+func (h *Host) PeerCert(local wire.Endpoint, peer wire.Endpoint) (*cert.Cert, error) {
+	c, ok := h.peerCerts[sessKey{local: local.EphID, peer: peer}]
+	if !ok {
+		return nil, ErrNoPeerCert
+	}
+	return c, nil
+}
+
+// RequestShutoff builds and sends a shutoff request for the flow that
+// delivered m: the evidence is the raw offending frame, signed with the
+// private key of the local (recipient) EphID, addressed to the
+// accountability agent named in the sender's certificate (Figure 5).
+func (h *Host) RequestShutoff(m Message) error {
+	key := sessKey{local: m.Flow.Dst.EphID, peer: m.Flow.Src}
+	peerCert, ok := h.peerCerts[key]
+	if !ok {
+		return ErrNoPeerCert
+	}
+	local, ok := h.pool[m.Flow.Dst.EphID]
+	if !ok {
+		return ErrNoEphID
+	}
+	if len(m.Raw) == 0 {
+		return fmt.Errorf("host: message carries no evidence frame")
+	}
+	req := aa.BuildRequest(m.Raw, &local.Cert, local.Sig)
+	payload, err := req.Encode()
+	if err != nil {
+		return err
+	}
+	agent := wire.Endpoint{AID: peerCert.AID, EphID: peerCert.AAEphID}
+	return h.send(wire.ProtoShutoff, 0, local.Cert.EphID, agent, payload)
+}

@@ -1,0 +1,83 @@
+package host
+
+import (
+	"fmt"
+
+	"apna/internal/ephid"
+	"apna/internal/wire"
+)
+
+// Encrypted data communication (Section IV-D2): after establishment,
+// every data packet is sealed with the session key and carries the
+// standard per-packet MAC for the source AS.
+
+// SendData encrypts and sends application data from a local EphID to a
+// peer endpoint with an established session.
+func (h *Host) SendData(local ephid.EphID, peer wire.Endpoint, data []byte) error {
+	key := sessKey{local: local, peer: peer}
+	sess, ok := h.sessions[key]
+	if !ok {
+		return fmt.Errorf("%w: %v -> %v", ErrNoSession, local, peer)
+	}
+	h.nonce++
+	hdr := wire.Header{
+		Nonce:  h.nonce,
+		SrcAID: h.cfg.AID, DstAID: peer.AID,
+		SrcEphID: local, DstEphID: peer.EphID,
+	}
+	ct, err := sess.Seal(data, sessionAAD(&hdr))
+	if err != nil {
+		return err
+	}
+	return h.sendWithNonce(wire.ProtoSession, 0, local, peer, ct, hdr.Nonce)
+}
+
+// Respond sends data back along the flow a message arrived on.
+func (h *Host) Respond(m Message, data []byte) error {
+	return h.SendData(m.Flow.Dst.EphID, m.Flow.Src, data)
+}
+
+// handleSession processes an encrypted data packet.
+func (h *Host) handleSession(hdr *wire.Header, payload []byte, frame []byte) {
+	key := sessKey{
+		local: hdr.DstEphID,
+		peer:  wire.Endpoint{AID: hdr.SrcAID, EphID: hdr.SrcEphID},
+	}
+	sess, ok := h.sessions[key]
+	if !ok {
+		h.stats.DropNoSession++
+		return
+	}
+	pt, err := sess.Open(payload, sessionAAD(hdr))
+	if err != nil {
+		h.stats.DropDecrypt++
+		return
+	}
+	// Replay check only after authentication succeeded.
+	if err := sess.AcceptSeq(hdr.Nonce); err != nil {
+		h.stats.DropReplay++
+		return
+	}
+	raw := append([]byte(nil), frame...)
+	h.lastFrame[key] = raw
+	h.deliver(Message{
+		Flow:    wire.FlowFromHeader(hdr),
+		Payload: pt,
+		Raw:     raw,
+	})
+}
+
+// deliver hands a message to the application.
+func (h *Host) deliver(m Message) {
+	if h.onMessage != nil {
+		h.onMessage(m)
+		return
+	}
+	h.inbox = append(h.inbox, m)
+}
+
+// HasSession reports whether a session exists from local to peer.
+func (h *Host) HasSession(local ephid.EphID, peer wire.Endpoint) bool {
+	_, ok := h.sessions[sessKey{local: local, peer: peer}]
+	return ok
+}

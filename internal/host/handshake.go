@@ -1,0 +1,303 @@
+package host
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"apna/internal/cert"
+	"apna/internal/ephid"
+	"apna/internal/session"
+	"apna/internal/wire"
+)
+
+// Connection establishment (Section IV-D1). The initiator already holds
+// the responder's certificate (from DNS or a previous exchange), so it
+// can derive the session key immediately; the handshake message carries
+// the initiator's certificate (the responder needs it for the same
+// derivation) and, optionally, 0-RTT application data (Section VII-C).
+//
+// When the responder was addressed by a receive-only EphID
+// (Section VII-A), its acknowledgment carries the certificate of a
+// *serving* EphID and the connection migrates to it.
+
+// handshake message flags.
+const (
+	hsFlagAck = 1 << 0
+)
+
+// handshakeMsg is the ProtoHandshake payload.
+type handshakeMsg struct {
+	flags byte
+	cert  cert.Cert
+	data  []byte // encrypted 0-RTT payload, possibly empty
+}
+
+var errBadHandshake = errors.New("host: malformed handshake")
+
+func (m *handshakeMsg) encode() ([]byte, error) {
+	certRaw, err := m.cert.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 0, 1+len(certRaw)+2+len(m.data))
+	buf = append(buf, m.flags)
+	buf = append(buf, certRaw...)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(m.data)))
+	return append(buf, m.data...), nil
+}
+
+func decodeHandshake(data []byte) (*handshakeMsg, error) {
+	if len(data) < 1+cert.Size+2 {
+		return nil, fmt.Errorf("%w: %d bytes", errBadHandshake, len(data))
+	}
+	var m handshakeMsg
+	m.flags = data[0]
+	if err := m.cert.UnmarshalBinary(data[1 : 1+cert.Size]); err != nil {
+		return nil, fmt.Errorf("%w: %v", errBadHandshake, err)
+	}
+	n := int(binary.BigEndian.Uint16(data[1+cert.Size:]))
+	rest := data[1+cert.Size+2:]
+	if len(rest) != n {
+		return nil, fmt.Errorf("%w: data length %d vs %d", errBadHandshake, n, len(rest))
+	}
+	m.data = rest
+	return &m, nil
+}
+
+// Conn is the initiator's handle on a connection.
+type Conn struct {
+	h     *Host
+	local *OwnedEphID
+	// peer is the endpoint data is sent to; it starts as the dialed
+	// EphID and migrates to the server's serving EphID on ack.
+	peer        wire.Endpoint
+	established bool
+	queue       [][]byte
+	onEstablish func(*Conn)
+}
+
+// Peer returns the current peer endpoint.
+func (c *Conn) Peer() wire.Endpoint { return c.peer }
+
+// Established reports whether the handshake acknowledgment arrived.
+func (c *Conn) Established() bool { return c.established }
+
+// dialState tracks an in-flight dial, keyed by the local EphID.
+type dialState struct {
+	conn *Conn
+}
+
+// DialOptions tunes connection establishment.
+type DialOptions struct {
+	// Data0RTT, if non-empty, is encrypted into the first packet under
+	// the session with the dialed EphID — the 0-RTT option of
+	// Section VII-C, trading first-packet forward secrecy for latency.
+	Data0RTT []byte
+	// OnEstablish fires when the acknowledgment arrives.
+	OnEstablish func(*Conn)
+}
+
+// Dial establishes a connection from the local EphID to the peer
+// certificate (obtained from DNS or out of band). The session key is
+// derived immediately; queued data flows once the ack confirms (or
+// immediately as 0-RTT data).
+func (h *Host) Dial(local *OwnedEphID, peerCert *cert.Cert, opts DialOptions) (*Conn, error) {
+	if peerCert.Expired(h.cfg.Now()) {
+		return nil, fmt.Errorf("%w: expired", ErrBadPeerCert)
+	}
+	peer := wire.Endpoint{AID: peerCert.AID, EphID: peerCert.EphID}
+	sess, err := session.New(local.DH, peerCert.DHPub[:], local.Cert.EphID, peerCert.EphID)
+	if err != nil {
+		return nil, err
+	}
+	key := sessKey{local: local.Cert.EphID, peer: peer}
+	h.sessions[key] = sess
+	h.peerCerts[key] = peerCert
+
+	conn := &Conn{h: h, local: local, peer: peer, onEstablish: opts.OnEstablish}
+	h.dials[local.Cert.EphID] = &dialState{conn: conn}
+
+	msg := handshakeMsg{cert: local.Cert}
+	flags := uint8(0)
+	if len(opts.Data0RTT) > 0 {
+		// Encrypt 0-RTT data under the session with the dialed EphID.
+		h.nonce++ // reserve the nonce the packet will carry
+		hdr := wire.Header{
+			Nonce:  h.nonce,
+			SrcAID: h.cfg.AID, DstAID: peer.AID,
+			SrcEphID: local.Cert.EphID, DstEphID: peer.EphID,
+		}
+		ct, err := sess.Seal(opts.Data0RTT, sessionAAD(&hdr))
+		if err != nil {
+			return nil, err
+		}
+		msg.data = ct
+		flags |= wire.FlagZeroRTT
+		payload, err := msg.encode()
+		if err != nil {
+			return nil, err
+		}
+		// Send with the reserved nonce: bypass send()'s allocation.
+		return conn, h.sendWithNonce(wire.ProtoHandshake, flags, local.Cert.EphID, peer, payload, hdr.Nonce)
+	}
+	payload, err := msg.encode()
+	if err != nil {
+		return nil, err
+	}
+	return conn, h.send(wire.ProtoHandshake, flags, local.Cert.EphID, peer, payload)
+}
+
+// sendWithNonce is send() with a caller-chosen nonce (already allocated
+// from the host's counter).
+func (h *Host) sendWithNonce(proto wire.NextProto, flags uint8, src ephid.EphID, dst wire.Endpoint, payload []byte, nonce uint64) error {
+	if h.port == nil {
+		return ErrNotAttached
+	}
+	p := wire.Packet{
+		Header: wire.Header{
+			NextProto: proto, Flags: flags, HopLimit: wire.DefaultHopLimit,
+			Nonce:  nonce,
+			SrcAID: h.cfg.AID, DstAID: dst.AID,
+			SrcEphID: src, DstEphID: dst.EphID,
+		},
+		Payload: payload,
+	}
+	frame, err := p.Encode()
+	if err != nil {
+		return err
+	}
+	h.mac.Apply(frame)
+	h.port.Send(frame)
+	h.stats.Sent++
+	return nil
+}
+
+// Send transmits application data on the connection, queueing it until
+// establishment if necessary.
+func (c *Conn) Send(data []byte) error {
+	if !c.established {
+		c.queue = append(c.queue, append([]byte(nil), data...))
+		return nil
+	}
+	return c.h.SendData(c.local.Cert.EphID, c.peer, data)
+}
+
+// handleHandshake processes both initial handshakes and acks.
+func (h *Host) handleHandshake(hdr *wire.Header, payload []byte, frame []byte) {
+	msg, err := decodeHandshake(payload)
+	if err != nil {
+		h.stats.DropBadHandshake++
+		return
+	}
+	if err := h.verifyPeerCert(&msg.cert, hdr.SrcAID, hdr.SrcEphID); err != nil {
+		h.stats.DropBadHandshake++
+		return
+	}
+
+	if msg.flags&hsFlagAck != 0 {
+		h.handleHandshakeAck(hdr, msg)
+		return
+	}
+
+	// Responder path. The packet must address an EphID we own.
+	local, ok := h.pool[hdr.DstEphID]
+	if !ok {
+		h.stats.DropBadHandshake++
+		return
+	}
+	peer := wire.Endpoint{AID: hdr.SrcAID, EphID: hdr.SrcEphID}
+
+	// Choose the serving EphID: receive-only identifiers never source
+	// traffic (Section VII-A).
+	serving := local
+	if local.Cert.Kind == ephid.KindReceiveOnly {
+		serving = h.pickServing()
+		if serving == nil {
+			h.stats.DropBadHandshake++
+			return
+		}
+	}
+
+	sess, err := session.New(serving.DH, msg.cert.DHPub[:], serving.Cert.EphID, msg.cert.EphID)
+	if err != nil {
+		h.stats.DropBadHandshake++
+		return
+	}
+	key := sessKey{local: serving.Cert.EphID, peer: peer}
+	h.sessions[key] = sess
+	peerCert := msg.cert
+	h.peerCerts[key] = &peerCert
+	if h.onAccept != nil {
+		h.onAccept(serving.Cert.EphID, peer, hdr.DstEphID)
+	}
+
+	// 0-RTT data rides under the session with the *addressed* EphID
+	// (the only key the initiator could derive); it is delivered on
+	// the serving flow so the application can respond.
+	var zeroRTT *Message
+	if len(msg.data) > 0 {
+		sess0 := sess
+		if serving != local {
+			sess0, err = session.New(local.DH, msg.cert.DHPub[:], local.Cert.EphID, msg.cert.EphID)
+			if err != nil {
+				h.stats.DropBadHandshake++
+				return
+			}
+		}
+		pt, err := sess0.Open(msg.data, sessionAAD(hdr))
+		if err != nil {
+			h.stats.DropDecrypt++
+		} else {
+			zeroRTT = &Message{
+				Flow:    wire.Flow{Src: peer, Dst: wire.Endpoint{AID: h.cfg.AID, EphID: serving.Cert.EphID}},
+				Payload: pt,
+				Raw:     append([]byte(nil), frame...),
+			}
+		}
+	}
+
+	ack := handshakeMsg{flags: hsFlagAck, cert: serving.Cert}
+	ackPayload, err := ack.encode()
+	if err != nil {
+		return
+	}
+	_ = h.send(wire.ProtoHandshake, 0, serving.Cert.EphID, peer, ackPayload)
+	if zeroRTT != nil {
+		h.deliver(*zeroRTT)
+	}
+}
+
+// handleHandshakeAck completes the initiator side.
+func (h *Host) handleHandshakeAck(hdr *wire.Header, msg *handshakeMsg) {
+	ds, ok := h.dials[hdr.DstEphID]
+	if !ok {
+		h.stats.DropBadHandshake++
+		return
+	}
+	conn := ds.conn
+	serving := wire.Endpoint{AID: hdr.SrcAID, EphID: hdr.SrcEphID}
+	if serving != conn.peer {
+		// The server migrated us to a serving EphID: derive the real
+		// session.
+		sess, err := session.New(conn.local.DH, msg.cert.DHPub[:], conn.local.Cert.EphID, msg.cert.EphID)
+		if err != nil {
+			h.stats.DropBadHandshake++
+			return
+		}
+		key := sessKey{local: conn.local.Cert.EphID, peer: serving}
+		h.sessions[key] = sess
+		peerCert := msg.cert
+		h.peerCerts[key] = &peerCert
+		conn.peer = serving
+	}
+	delete(h.dials, hdr.DstEphID)
+	conn.established = true
+	for _, data := range conn.queue {
+		_ = h.SendData(conn.local.Cert.EphID, conn.peer, data)
+	}
+	conn.queue = nil
+	if conn.onEstablish != nil {
+		conn.onEstablish(conn)
+	}
+}

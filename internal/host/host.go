@@ -1,0 +1,286 @@
+// Package host implements the APNA end-host network stack: EphID pool
+// management (paper Section VIII-A), connection establishment
+// (Section IV-D1 and the client-server variant of Section VII-A),
+// encrypted data communication (Section IV-D2), ICMP (Section VIII-B)
+// and shutoff-request initiation (Section IV-E).
+//
+// The same stack also powers AS-internal service nodes (MS, DNS,
+// accountability agent): a service is a host with a raw protocol
+// handler registered for its message type.
+//
+// A Host is driven entirely by the discrete-event simulator's goroutine:
+// its methods must be called either from simulator callbacks or between
+// simulator runs. It therefore uses no locks.
+package host
+
+import (
+	"errors"
+	"fmt"
+
+	"apna/internal/cert"
+	"apna/internal/crypto"
+	"apna/internal/ephid"
+	"apna/internal/netsim"
+	"apna/internal/rpki"
+	"apna/internal/session"
+	"apna/internal/wire"
+)
+
+// Errors returned by host operations.
+var (
+	ErrNoSession   = errors.New("host: no session for flow")
+	ErrNotAttached = errors.New("host: not attached to the network")
+	ErrNoEphID     = errors.New("host: no usable EphID in pool")
+	ErrBadPeerCert = errors.New("host: peer certificate invalid")
+	ErrNoPeerCert  = errors.New("host: peer certificate unknown for flow")
+)
+
+// OwnedEphID is an EphID this host holds the private keys for.
+type OwnedEphID struct {
+	// Cert is the AS-issued certificate binding the EphID to the keys.
+	Cert cert.Cert
+	// DH is the X25519 key pair whose public half is certified.
+	DH *crypto.KeyPair
+	// Sig is the Ed25519 key pair authorizing shutoff requests.
+	Sig *crypto.Signer
+	// InUse marks EphIDs consumed by the per-flow granularity policy.
+	InUse bool
+	// App labels the EphID under the per-application policy.
+	App string
+}
+
+// Endpoint returns the AID:EphID address of this identifier.
+func (o *OwnedEphID) Endpoint() wire.Endpoint {
+	return wire.Endpoint{AID: o.Cert.AID, EphID: o.Cert.EphID}
+}
+
+// Message is application data delivered by the stack.
+type Message struct {
+	// Flow is the packet flow as seen by the receiver (Src is the
+	// peer, Dst is the local endpoint).
+	Flow wire.Flow
+	// Payload is the decrypted application data.
+	Payload []byte
+	// Raw is a copy of the raw frame that carried the data; it is the
+	// evidence a shutoff request must present (Figure 5).
+	Raw []byte
+}
+
+// Config assembles a host's identity, produced by bootstrapping.
+type Config struct {
+	AID  ephid.AID
+	HID  ephid.HID
+	Keys crypto.HostASKeys
+	// CtrlEphID is the control EphID issued at bootstrap, used to
+	// reach AS services.
+	CtrlEphID ephid.EphID
+	// MSCert and DNSCert locate the AS's services.
+	MSCert, DNSCert cert.Cert
+	// Trust resolves AS keys for certificate verification.
+	Trust *rpki.TrustStore
+	// Now supplies Unix seconds (the simulation's virtual clock).
+	Now func() int64
+}
+
+// Host is an APNA end host (or service node).
+type Host struct {
+	cfg  Config
+	port *netsim.Port
+	mac  *wire.PacketMAC
+
+	pool     map[ephid.EphID]*OwnedEphID
+	poolList []*OwnedEphID
+
+	sessions  map[sessKey]*session.Session
+	peerCerts map[sessKey]*cert.Cert
+	lastFrame map[sessKey][]byte
+
+	pendingEphID []*pendingIssue
+	dials        map[ephid.EphID]*dialState
+
+	nonce uint64
+
+	inbox       []Message
+	onMessage   func(Message)
+	onAccept    func(serving ephid.EphID, peer wire.Endpoint, addressed ephid.EphID)
+	onEcho      func(seq uint16)
+	onICMPError func(typ, code uint8, quoted []byte)
+	rawHandlers map[wire.NextProto]func(hdr *wire.Header, payload []byte)
+
+	stats Stats
+}
+
+// Stats counts host-level events.
+type Stats struct {
+	Sent, Received   uint64
+	DropNoSession    uint64
+	DropDecrypt      uint64
+	DropReplay       uint64
+	DropBadHandshake uint64
+	EphIDsIssued     uint64
+}
+
+// sessKey identifies a session by local EphID and peer endpoint.
+type sessKey struct {
+	local ephid.EphID
+	peer  wire.Endpoint
+}
+
+// New creates a host from its bootstrap identity.
+func New(cfg Config) (*Host, error) {
+	mac, err := wire.NewPacketMAC(cfg.Keys.MAC[:])
+	if err != nil {
+		return nil, err
+	}
+	return &Host{
+		cfg:         cfg,
+		mac:         mac,
+		pool:        make(map[ephid.EphID]*OwnedEphID),
+		sessions:    make(map[sessKey]*session.Session),
+		peerCerts:   make(map[sessKey]*cert.Cert),
+		lastFrame:   make(map[sessKey][]byte),
+		dials:       make(map[ephid.EphID]*dialState),
+		rawHandlers: make(map[wire.NextProto]func(*wire.Header, []byte)),
+	}, nil
+}
+
+// Attach binds the host to a network port (its access link).
+func (h *Host) Attach(p *netsim.Port) {
+	h.port = p
+	p.Attach(h, fmt.Sprintf("host:%v", h.cfg.HID))
+}
+
+// Stats returns a copy of the host's counters.
+func (h *Host) Stats() Stats { return h.stats }
+
+// Config returns the host's identity configuration.
+func (h *Host) Config() Config { return h.cfg }
+
+// OnMessage installs the application data callback. Without one,
+// messages accumulate in the inbox.
+func (h *Host) OnMessage(fn func(Message)) { h.onMessage = fn }
+
+// OnAccept installs a callback fired when an inbound handshake creates
+// a session: serving is the local EphID answering, peer the remote
+// endpoint, and addressed the EphID the peer originally dialed (these
+// differ for receive-only identifiers). Gateways use it to associate
+// inbound connections with the legacy servers they front.
+func (h *Host) OnAccept(fn func(serving ephid.EphID, peer wire.Endpoint, addressed ephid.EphID)) {
+	h.onAccept = fn
+}
+
+// OnEchoReply installs the ICMP echo reply callback.
+func (h *Host) OnEchoReply(fn func(seq uint16)) { h.onEcho = fn }
+
+// OnICMPError installs the ICMP error callback.
+func (h *Host) OnICMPError(fn func(typ, code uint8, quoted []byte)) { h.onICMPError = fn }
+
+// RegisterRawHandler overrides packet handling for a protocol number —
+// how AS services (MS, DNS, AA) mount their logic on a host stack.
+func (h *Host) RegisterRawHandler(p wire.NextProto, fn func(hdr *wire.Header, payload []byte)) {
+	h.rawHandlers[p] = fn
+}
+
+// Inbox drains and returns queued messages.
+func (h *Host) Inbox() []Message {
+	m := h.inbox
+	h.inbox = nil
+	return m
+}
+
+// send builds, MACs and transmits one packet.
+func (h *Host) send(proto wire.NextProto, flags uint8, src ephid.EphID, dst wire.Endpoint, payload []byte) error {
+	if h.port == nil {
+		return ErrNotAttached
+	}
+	h.nonce++
+	p := wire.Packet{
+		Header: wire.Header{
+			NextProto: proto, Flags: flags, HopLimit: wire.DefaultHopLimit,
+			Nonce:  h.nonce,
+			SrcAID: h.cfg.AID, DstAID: dst.AID,
+			SrcEphID: src, DstEphID: dst.EphID,
+		},
+		Payload: payload,
+	}
+	frame, err := p.Encode()
+	if err != nil {
+		return err
+	}
+	h.mac.Apply(frame)
+	h.port.Send(frame)
+	h.stats.Sent++
+	return nil
+}
+
+// SendRaw sends an arbitrary protocol payload (service replies).
+func (h *Host) SendRaw(proto wire.NextProto, flags uint8, src ephid.EphID, dst wire.Endpoint, payload []byte) error {
+	return h.send(proto, flags, src, dst, payload)
+}
+
+// ApplyMAC stamps a pre-built frame with this host's per-packet MAC —
+// the NAT-mode access point's MAC-replacement step (Section VII-B).
+func (h *Host) ApplyMAC(frame []byte) { h.mac.Apply(frame) }
+
+// SendFrame transmits a pre-built, already-MACed frame.
+func (h *Host) SendFrame(frame []byte) error {
+	if h.port == nil {
+		return ErrNotAttached
+	}
+	h.port.Send(frame)
+	h.stats.Sent++
+	return nil
+}
+
+// HandleFrame implements netsim.Handler: the host's receive demux.
+func (h *Host) HandleFrame(frame []byte, _ *netsim.Port) {
+	pkt, err := wire.DecodePacket(frame)
+	if err != nil {
+		return
+	}
+	h.stats.Received++
+	if fn, ok := h.rawHandlers[pkt.Header.NextProto]; ok {
+		fn(&pkt.Header, pkt.Payload)
+		return
+	}
+	switch pkt.Header.NextProto {
+	case wire.ProtoControl:
+		h.handleControlReply(&pkt.Header, pkt.Payload)
+	case wire.ProtoHandshake:
+		h.handleHandshake(&pkt.Header, pkt.Payload, frame)
+	case wire.ProtoSession:
+		h.handleSession(&pkt.Header, pkt.Payload, frame)
+	case wire.ProtoICMP:
+		h.handleICMP(&pkt.Header, pkt.Payload)
+	}
+}
+
+// sessionAAD builds the AEAD additional data binding ciphertext to the
+// packet's flow and nonce, preventing cross-flow splicing.
+func sessionAAD(hdr *wire.Header) []byte {
+	aad := make([]byte, 0, 8+4+ephid.Size+4+ephid.Size)
+	aad = append(aad,
+		byte(hdr.Nonce>>56), byte(hdr.Nonce>>48), byte(hdr.Nonce>>40), byte(hdr.Nonce>>32),
+		byte(hdr.Nonce>>24), byte(hdr.Nonce>>16), byte(hdr.Nonce>>8), byte(hdr.Nonce))
+	aad = append(aad, byte(hdr.SrcAID>>24), byte(hdr.SrcAID>>16), byte(hdr.SrcAID>>8), byte(hdr.SrcAID))
+	aad = append(aad, hdr.SrcEphID[:]...)
+	aad = append(aad, byte(hdr.DstAID>>24), byte(hdr.DstAID>>16), byte(hdr.DstAID>>8), byte(hdr.DstAID))
+	aad = append(aad, hdr.DstEphID[:]...)
+	return aad
+}
+
+// verifyPeerCert checks a peer certificate against the trust store and
+// the packet header it arrived in.
+func (h *Host) verifyPeerCert(c *cert.Cert, srcAID ephid.AID, srcEphID ephid.EphID) error {
+	if c.AID != srcAID || c.EphID != srcEphID {
+		return fmt.Errorf("%w: certificate does not match packet source", ErrBadPeerCert)
+	}
+	key, err := h.cfg.Trust.SigKey(c.AID, h.cfg.Now())
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrBadPeerCert, err)
+	}
+	if err := c.Verify(key, h.cfg.Now()); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadPeerCert, err)
+	}
+	return nil
+}

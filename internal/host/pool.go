@@ -1,0 +1,199 @@
+package host
+
+import (
+	"bytes"
+	"fmt"
+
+	"apna/internal/cert"
+	"apna/internal/crypto"
+	"apna/internal/ephid"
+	"apna/internal/ms"
+	"apna/internal/wire"
+)
+
+// EphID pool management and the network side of the issuance protocol
+// (Figure 3): the host generates the key pair, encrypts the request
+// under kHA, sends it from its control EphID to the MS, and installs
+// the certified EphID from the encrypted reply.
+
+// pendingIssue remembers the keys bound by an outstanding request;
+// replies are matched FIFO, which is sound because the request channel
+// to the MS is ordered in the simulator.
+type pendingIssue struct {
+	dhPub, sigPub []byte
+	deliver       func(*cert.Cert, error)
+}
+
+// RequestEphID asks the AS's MS for a fresh EphID of the given kind and
+// lifetime, generating the key pair locally (Figure 3: the host
+// generates the keys because they protect data the AS must not read).
+// cb fires when the reply arrives.
+func (h *Host) RequestEphID(kind ephid.Kind, lifetime uint32, cb func(*OwnedEphID, error)) error {
+	dh, err := crypto.GenerateKeyPair()
+	if err != nil {
+		return err
+	}
+	sig, err := crypto.GenerateSigner()
+	if err != nil {
+		return err
+	}
+	return h.RequestEphIDFor(kind, lifetime, dh.PublicKey(), sig.PublicKey(),
+		func(c *cert.Cert, err error) {
+			if err != nil {
+				cb(nil, err)
+				return
+			}
+			owned := &OwnedEphID{Cert: *c, DH: dh, Sig: sig}
+			h.AddEphID(owned)
+			h.stats.EphIDsIssued++
+			cb(owned, nil)
+		})
+}
+
+// RequestEphIDFor asks the MS for an EphID bound to externally supplied
+// public keys. This is the relay path a NAT-mode access point uses:
+// "the AP uses an ephemeral public key that is supplied by its host"
+// (Section VII-B) — the private halves never leave the client.
+func (h *Host) RequestEphIDFor(kind ephid.Kind, lifetime uint32, dhPub, sigPub []byte,
+	deliver func(*cert.Cert, error)) error {
+	req := &ms.Request{Kind: kind, Lifetime: lifetime}
+	copy(req.DHPub[:], dhPub)
+	copy(req.SigPub[:], sigPub)
+
+	ct, err := ms.EncodeRequest(h.cfg.Keys.Enc[:], h.cfg.CtrlEphID, req)
+	if err != nil {
+		return err
+	}
+	msEndpoint := wire.Endpoint{AID: h.cfg.MSCert.AID, EphID: h.cfg.MSCert.EphID}
+	if err := h.send(wire.ProtoControl, wire.FlagControl, h.cfg.CtrlEphID, msEndpoint, ct); err != nil {
+		return err
+	}
+	h.pendingEphID = append(h.pendingEphID, &pendingIssue{
+		dhPub:   append([]byte(nil), dhPub...),
+		sigPub:  append([]byte(nil), sigPub...),
+		deliver: deliver,
+	})
+	return nil
+}
+
+// handleControlReply processes an MS reply: decrypt the certificate,
+// check it binds the requested keys, and hand it to the requester.
+func (h *Host) handleControlReply(hdr *wire.Header, payload []byte) {
+	if len(h.pendingEphID) == 0 {
+		return
+	}
+	p := h.pendingEphID[0]
+	h.pendingEphID = h.pendingEphID[1:]
+
+	c, err := ms.DecodeReply(h.cfg.Keys.Enc[:], hdr.DstEphID, payload)
+	if err != nil {
+		p.deliver(nil, err)
+		return
+	}
+	if !bytes.Equal(c.DHPub[:], p.dhPub) || !bytes.Equal(c.SigPub[:], p.sigPub) {
+		p.deliver(nil, fmt.Errorf("%w: reply binds foreign keys", ErrBadPeerCert))
+		return
+	}
+	p.deliver(c, nil)
+}
+
+// AddEphID installs an EphID into the pool (used by the issuance path
+// and by tests that mint out-of-band).
+func (h *Host) AddEphID(o *OwnedEphID) {
+	h.pool[o.Cert.EphID] = o
+	h.poolList = append(h.poolList, o)
+}
+
+// Lookup returns the owned EphID record, if any.
+func (h *Host) Lookup(e ephid.EphID) (*OwnedEphID, bool) {
+	o, ok := h.pool[e]
+	return o, ok
+}
+
+// PoolSize reports how many EphIDs the host currently holds.
+func (h *Host) PoolSize() int { return len(h.poolList) }
+
+// Granularity selects how a host assigns EphIDs to traffic
+// (Section VIII-A).
+type Granularity uint8
+
+const (
+	// PerHost: one EphID for everything. Cheapest, fully linkable,
+	// one shutoff kills all flows.
+	PerHost Granularity = iota
+	// PerFlow: a fresh EphID per connection. Unlinkable flows,
+	// shutoffs only hit one flow.
+	PerFlow
+	// PerApplication: one EphID per application label.
+	PerApplication
+)
+
+// String names the granularity.
+func (g Granularity) String() string {
+	switch g {
+	case PerHost:
+		return "per-host"
+	case PerFlow:
+		return "per-flow"
+	case PerApplication:
+		return "per-application"
+	default:
+		return fmt.Sprintf("granularity(%d)", uint8(g))
+	}
+}
+
+// Acquire picks an EphID from the pool under the given granularity
+// policy. app is only used by PerApplication. It returns ErrNoEphID if
+// the policy needs an identifier the pool cannot supply (callers then
+// RequestEphID and retry).
+func (h *Host) Acquire(g Granularity, app string) (*OwnedEphID, error) {
+	now := h.cfg.Now()
+	switch g {
+	case PerHost:
+		for _, o := range h.poolList {
+			if usable(o, now) {
+				return o, nil
+			}
+		}
+	case PerFlow:
+		for _, o := range h.poolList {
+			if usable(o, now) && !o.InUse {
+				o.InUse = true
+				return o, nil
+			}
+		}
+	case PerApplication:
+		for _, o := range h.poolList {
+			if usable(o, now) && o.App == app {
+				return o, nil
+			}
+		}
+		// No EphID labeled for this app yet: claim an unlabeled one.
+		for _, o := range h.poolList {
+			if usable(o, now) && o.App == "" && !o.InUse {
+				o.App = app
+				return o, nil
+			}
+		}
+	}
+	return nil, ErrNoEphID
+}
+
+// usable reports whether an EphID can source traffic: unexpired and not
+// receive-only.
+func usable(o *OwnedEphID, now int64) bool {
+	return !o.Cert.Expired(now) && o.Cert.Kind != ephid.KindReceiveOnly
+}
+
+// pickServing returns a sendable EphID for answering connections made
+// to a receive-only identifier (Section VII-A: the server responds with
+// the certificate of a serving EphID, never the receive-only one).
+func (h *Host) pickServing() *OwnedEphID {
+	now := h.cfg.Now()
+	for _, o := range h.poolList {
+		if usable(o, now) {
+			return o
+		}
+	}
+	return nil
+}

@@ -1,0 +1,206 @@
+// Package hostdb implements the host information database — host_info
+// in the paper — that every infrastructure entity of an AS keeps
+// (Figure 2: "the entities store the information in their database").
+//
+// It maps a host's HID to the symmetric keys the host shares with the AS
+// and to the host's standing (active or revoked). Border routers consult
+// it on every outgoing packet to fetch the MAC key (Figure 4), so the
+// store is sharded for concurrent access from many forwarding workers.
+package hostdb
+
+import (
+	"errors"
+	"sync"
+
+	"apna/internal/crypto"
+	"apna/internal/ephid"
+)
+
+// Status is a host's standing with its AS.
+type Status uint8
+
+const (
+	// StatusActive means the host may communicate.
+	StatusActive Status = iota
+	// StatusRevoked means the AS has invalidated the HID — the
+	// escalation step of the paper's revocation management
+	// (Section VIII-G2): all EphIDs of a revoked HID are implicitly
+	// invalid.
+	StatusRevoked
+)
+
+// Errors returned by the database.
+var (
+	ErrUnknownHost = errors.New("hostdb: unknown HID")
+	ErrRevoked     = errors.New("hostdb: HID revoked")
+)
+
+// Entry is the per-host record.
+type Entry struct {
+	HID ephid.HID
+	// Keys are the symmetric keys shared between the host and the AS
+	// (kHA), established during bootstrap.
+	Keys crypto.HostASKeys
+	// HostPub is the host's long-term public key learned during
+	// authentication (K+H).
+	HostPub []byte
+	// Status is the host's standing.
+	Status Status
+	// Strikes counts shutoff incidents against the host's EphIDs,
+	// feeding the CAS-style escalation policy (Section VIII-G2).
+	Strikes int
+	// RegisteredAt is the bootstrap time in Unix seconds.
+	RegisteredAt int64
+}
+
+const shardCount = 64
+
+type shard struct {
+	mu      sync.RWMutex
+	entries map[ephid.HID]*Entry
+}
+
+// DB is the sharded host database. The zero value is not usable; call
+// New.
+type DB struct {
+	shards [shardCount]shard
+}
+
+// New returns an empty database.
+func New() *DB {
+	db := &DB{}
+	for i := range db.shards {
+		db.shards[i].entries = make(map[ephid.HID]*Entry)
+	}
+	return db
+}
+
+func (db *DB) shardFor(hid ephid.HID) *shard {
+	return &db.shards[uint32(hid)%shardCount]
+}
+
+// Put inserts or replaces the entry for a host.
+func (db *DB) Put(e Entry) {
+	s := db.shardFor(e.HID)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	copied := e
+	copied.HostPub = append([]byte(nil), e.HostPub...)
+	s.entries[e.HID] = &copied
+}
+
+// Get returns a copy of the entry for hid.
+func (db *DB) Get(hid ephid.HID) (Entry, error) {
+	s := db.shardFor(hid)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e, ok := s.entries[hid]
+	if !ok {
+		return Entry{}, ErrUnknownHost
+	}
+	return *e, nil
+}
+
+// MACKey returns the per-packet MAC key for an active host. It is the
+// border router's per-packet lookup: unknown and revoked HIDs fail,
+// which is exactly the "HID is valid" check of Figure 4.
+func (db *DB) MACKey(hid ephid.HID) ([crypto.SymKeySize]byte, error) {
+	s := db.shardFor(hid)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e, ok := s.entries[hid]
+	if !ok {
+		return [crypto.SymKeySize]byte{}, ErrUnknownHost
+	}
+	if e.Status == StatusRevoked {
+		return [crypto.SymKeySize]byte{}, ErrRevoked
+	}
+	return e.Keys.MAC, nil
+}
+
+// EncKey returns the control-message encryption key for an active host
+// (used by the MS to decrypt EphID requests, Figure 3).
+func (db *DB) EncKey(hid ephid.HID) ([crypto.SymKeySize]byte, error) {
+	s := db.shardFor(hid)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e, ok := s.entries[hid]
+	if !ok {
+		return [crypto.SymKeySize]byte{}, ErrUnknownHost
+	}
+	if e.Status == StatusRevoked {
+		return [crypto.SymKeySize]byte{}, ErrRevoked
+	}
+	return e.Keys.Enc, nil
+}
+
+// Valid reports whether hid is registered and not revoked.
+func (db *DB) Valid(hid ephid.HID) bool {
+	s := db.shardFor(hid)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e, ok := s.entries[hid]
+	return ok && e.Status == StatusActive
+}
+
+// Revoke marks a host revoked. Unknown HIDs are ignored.
+func (db *DB) Revoke(hid ephid.HID) {
+	s := db.shardFor(hid)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.entries[hid]; ok {
+		e.Status = StatusRevoked
+	}
+}
+
+// AddStrike increments and returns the host's shutoff-strike counter.
+func (db *DB) AddStrike(hid ephid.HID) (int, error) {
+	s := db.shardFor(hid)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[hid]
+	if !ok {
+		return 0, ErrUnknownHost
+	}
+	e.Strikes++
+	return e.Strikes, nil
+}
+
+// Delete removes a host entirely (used when an AS reassigns a HID,
+// Section VI-A "identity minting").
+func (db *DB) Delete(hid ephid.HID) {
+	s := db.shardFor(hid)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.entries, hid)
+}
+
+// Len returns the number of registered hosts.
+func (db *DB) Len() int {
+	n := 0
+	for i := range db.shards {
+		s := &db.shards[i]
+		s.mu.RLock()
+		n += len(s.entries)
+		s.mu.RUnlock()
+	}
+	return n
+}
+
+// Range calls fn for every entry (copy) until fn returns false.
+func (db *DB) Range(fn func(Entry) bool) {
+	for i := range db.shards {
+		s := &db.shards[i]
+		s.mu.RLock()
+		entries := make([]Entry, 0, len(s.entries))
+		for _, e := range s.entries {
+			entries = append(entries, *e)
+		}
+		s.mu.RUnlock()
+		for _, e := range entries {
+			if !fn(e) {
+				return
+			}
+		}
+	}
+}

@@ -1,0 +1,164 @@
+package hostdb
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"apna/internal/crypto"
+	"apna/internal/ephid"
+)
+
+func entry(hid ephid.HID) Entry {
+	return Entry{
+		HID:          hid,
+		Keys:         crypto.DeriveHostASKeys([]byte{byte(hid)}),
+		HostPub:      []byte{1, 2, 3},
+		RegisteredAt: 100,
+	}
+}
+
+func TestPutGet(t *testing.T) {
+	db := New()
+	db.Put(entry(42))
+	got, err := db.Get(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.HID != 42 || got.Status != StatusActive {
+		t.Errorf("entry = %+v", got)
+	}
+	if _, err := db.Get(43); !errors.Is(err, ErrUnknownHost) {
+		t.Errorf("unknown: %v", err)
+	}
+	if db.Len() != 1 {
+		t.Errorf("Len = %d", db.Len())
+	}
+}
+
+func TestPutCopiesHostPub(t *testing.T) {
+	db := New()
+	e := entry(1)
+	db.Put(e)
+	e.HostPub[0] = 99
+	got, _ := db.Get(1)
+	if got.HostPub[0] == 99 {
+		t.Error("Put aliased caller's HostPub slice")
+	}
+}
+
+func TestMACKeyAndEncKey(t *testing.T) {
+	db := New()
+	e := entry(7)
+	db.Put(e)
+	mk, err := db.MACKey(7)
+	if err != nil || mk != e.Keys.MAC {
+		t.Errorf("MACKey: %v", err)
+	}
+	ek, err := db.EncKey(7)
+	if err != nil || ek != e.Keys.Enc {
+		t.Errorf("EncKey: %v", err)
+	}
+	if _, err := db.MACKey(8); !errors.Is(err, ErrUnknownHost) {
+		t.Errorf("unknown MACKey: %v", err)
+	}
+	if _, err := db.EncKey(8); !errors.Is(err, ErrUnknownHost) {
+		t.Errorf("unknown EncKey: %v", err)
+	}
+}
+
+func TestRevoke(t *testing.T) {
+	db := New()
+	db.Put(entry(5))
+	if !db.Valid(5) {
+		t.Error("fresh host invalid")
+	}
+	db.Revoke(5)
+	if db.Valid(5) {
+		t.Error("revoked host still valid")
+	}
+	if _, err := db.MACKey(5); !errors.Is(err, ErrRevoked) {
+		t.Errorf("revoked MACKey: %v", err)
+	}
+	if _, err := db.EncKey(5); !errors.Is(err, ErrRevoked) {
+		t.Errorf("revoked EncKey: %v", err)
+	}
+	db.Revoke(999) // no-op must not panic
+	if db.Valid(999) {
+		t.Error("unknown host valid")
+	}
+}
+
+func TestStrikes(t *testing.T) {
+	db := New()
+	db.Put(entry(3))
+	for want := 1; want <= 3; want++ {
+		got, err := db.AddStrike(3)
+		if err != nil || got != want {
+			t.Errorf("AddStrike = %d, %v; want %d", got, err, want)
+		}
+	}
+	if _, err := db.AddStrike(4); !errors.Is(err, ErrUnknownHost) {
+		t.Errorf("unknown AddStrike: %v", err)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	db := New()
+	db.Put(entry(9))
+	db.Delete(9)
+	if _, err := db.Get(9); !errors.Is(err, ErrUnknownHost) {
+		t.Error("deleted host still present")
+	}
+	if db.Len() != 0 {
+		t.Errorf("Len = %d", db.Len())
+	}
+}
+
+func TestRange(t *testing.T) {
+	db := New()
+	for i := ephid.HID(0); i < 100; i++ {
+		db.Put(entry(i))
+	}
+	seen := make(map[ephid.HID]bool)
+	db.Range(func(e Entry) bool {
+		seen[e.HID] = true
+		return true
+	})
+	if len(seen) != 100 {
+		t.Errorf("Range visited %d entries", len(seen))
+	}
+	// Early stop.
+	n := 0
+	db.Range(func(Entry) bool { n++; return n < 10 })
+	if n != 10 {
+		t.Errorf("early stop visited %d", n)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	db := New()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				hid := ephid.HID(w*1000 + i)
+				db.Put(entry(hid))
+				if _, err := db.Get(hid); err != nil {
+					t.Errorf("Get(%d): %v", hid, err)
+					return
+				}
+				db.Valid(hid)
+				if i%10 == 0 {
+					db.Revoke(hid)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if db.Len() != 8000 {
+		t.Errorf("Len = %d", db.Len())
+	}
+}

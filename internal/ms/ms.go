@@ -1,0 +1,233 @@
+// Package ms implements the EphID Management Service — the AS entity
+// that issues ephemeral identifiers to hosts (paper Sections IV-C and
+// V-A, Figures 3 and 6).
+//
+// The issuance protocol: the host sends an encrypted request (under the
+// kHA key it shares with the AS) carrying a freshly generated ephemeral
+// public key; the MS validates the host's control EphID, mints a new
+// EphID, certifies the binding between the EphID and the host's key
+// with a short-lived certificate, and returns the certificate encrypted.
+// Both directions are encrypted so an observer inside the AS cannot
+// link the issued EphIDs to the requesting control EphID
+// (sender-flow unlinkability, Section IV-C).
+package ms
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"apna/internal/cert"
+	"apna/internal/crypto"
+	"apna/internal/ephid"
+	"apna/internal/hostdb"
+)
+
+// Errors returned by the service.
+var (
+	ErrBadEphID      = errors.New("ms: invalid source EphID")
+	ErrExpiredEphID  = errors.New("ms: control EphID expired")
+	ErrUnknownHost   = errors.New("ms: unknown or revoked HID")
+	ErrBadRequest    = errors.New("ms: malformed request")
+	ErrDecryptFailed = errors.New("ms: request decryption failed")
+)
+
+// Request is the plaintext interior of an EphID request message. The
+// host generates the key pair for the EphID itself, because the keys
+// will protect data the AS must not read (Section IV-C).
+type Request struct {
+	// Kind of EphID requested (data or receive-only; control EphIDs
+	// come from the RS at bootstrap).
+	Kind ephid.Kind
+	// Lifetime is the requested validity in seconds; the MS clamps it
+	// to its policy (Section VIII-G1 discusses letting hosts express
+	// expiration-time choices).
+	Lifetime uint32
+	// DHPub is the X25519 public key to bind to the EphID.
+	DHPub [crypto.X25519PublicKeySize]byte
+	// SigPub is the Ed25519 public key to bind to the EphID.
+	SigPub [crypto.SigningPublicKeySize]byte
+}
+
+// RequestSize is the encoded request size.
+const RequestSize = 1 + 4 + crypto.X25519PublicKeySize + crypto.SigningPublicKeySize
+
+// Encode serializes the request.
+func (r *Request) Encode() []byte {
+	buf := make([]byte, 0, RequestSize)
+	buf = append(buf, byte(r.Kind))
+	buf = binary.BigEndian.AppendUint32(buf, r.Lifetime)
+	buf = append(buf, r.DHPub[:]...)
+	buf = append(buf, r.SigPub[:]...)
+	return buf
+}
+
+// DecodeRequest parses a request.
+func DecodeRequest(data []byte) (*Request, error) {
+	if len(data) != RequestSize {
+		return nil, fmt.Errorf("%w: %d bytes", ErrBadRequest, len(data))
+	}
+	var r Request
+	r.Kind = ephid.Kind(data[0])
+	r.Lifetime = binary.BigEndian.Uint32(data[1:])
+	copy(r.DHPub[:], data[5:])
+	copy(r.SigPub[:], data[5+crypto.X25519PublicKeySize:])
+	return &r, nil
+}
+
+// Policy bounds issued EphID lifetimes. The paper suggests 15 minutes
+// for per-flow EphIDs, since 98% of Internet flows last less than that
+// (Section VIII-G1).
+type Policy struct {
+	// DefaultLifetime is used when the host requests 0.
+	DefaultLifetime uint32
+	// MaxLifetime caps requests.
+	MaxLifetime uint32
+}
+
+// DefaultPolicy matches the paper's 15-minute per-flow guidance with a
+// 24-hour ceiling for receive-only (DNS-published) identifiers.
+func DefaultPolicy() Policy {
+	return Policy{DefaultLifetime: 15 * 60, MaxLifetime: 24 * 3600}
+}
+
+// Clamp applies the policy to a requested lifetime.
+func (p Policy) Clamp(requested uint32) uint32 {
+	if requested == 0 {
+		return p.DefaultLifetime
+	}
+	return min(requested, p.MaxLifetime)
+}
+
+// Service is the Management Service of one AS. It is safe for
+// concurrent use; the paper parallelizes issuance across 4 processes
+// and so do the benchmarks.
+type Service struct {
+	aid     ephid.AID
+	sealer  *ephid.Sealer
+	signer  *crypto.Signer
+	db      *hostdb.DB
+	policy  Policy
+	aaEphID ephid.EphID
+	now     func() int64
+
+	// Issued counts successfully issued EphIDs.
+	issued func()
+}
+
+// New creates the service. aaEphID is embedded in every certificate so
+// peers know where to send shutoff requests.
+func New(aid ephid.AID, sealer *ephid.Sealer, signer *crypto.Signer, db *hostdb.DB,
+	policy Policy, aaEphID ephid.EphID, now func() int64) *Service {
+	return &Service{
+		aid: aid, sealer: sealer, signer: signer, db: db,
+		policy: policy, aaEphID: aaEphID, now: now, issued: func() {},
+	}
+}
+
+// SetIssuedHook installs a callback fired per successful issuance
+// (metrics).
+func (s *Service) SetIssuedHook(fn func()) { s.issued = fn }
+
+// HandleRequest implements Figure 3. srcEphID is the source EphID of
+// the request packet (the host's control EphID) and ciphertext the
+// encrypted request. It returns the encrypted certificate reply.
+func (s *Service) HandleRequest(srcEphID ephid.EphID, ciphertext []byte) ([]byte, error) {
+	now := s.now()
+
+	// (HID, T1) = Dec(kA, EphID_ctrl); abort on forgery or expiry.
+	p, err := s.sealer.Open(srcEphID)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadEphID, err)
+	}
+	if p.Expired(now) {
+		return nil, ErrExpiredEphID
+	}
+
+	// HID must be registered and not revoked.
+	encKey, err := s.db.EncKey(p.HID)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrUnknownHost, err)
+	}
+
+	// Decrypt and parse the request.
+	aead, err := crypto.NewAEAD(encKey[:], 0)
+	if err != nil {
+		return nil, err
+	}
+	plain, err := aead.Open(nil, ciphertext, srcEphID[:])
+	if err != nil {
+		return nil, ErrDecryptFailed
+	}
+	req, err := DecodeRequest(plain)
+	if err != nil {
+		return nil, err
+	}
+
+	c, err := s.Issue(p.HID, req)
+	if err != nil {
+		return nil, err
+	}
+
+	// Encrypt the certificate so observers cannot link the new EphID
+	// to the control EphID. Direction 1 separates the reply nonce
+	// space from the host's request nonce space under the shared key.
+	raw, err := c.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	replyAEAD, err := crypto.NewAEAD(encKey[:], 1)
+	if err != nil {
+		return nil, err
+	}
+	reply, err := replyAEAD.Seal(nil, raw, srcEphID[:])
+	if err != nil {
+		return nil, err
+	}
+	return reply, nil
+}
+
+// Issue mints and certifies an EphID for an already-validated host.
+// This is the core generation step measured in the paper's MS
+// performance experiment (Section V-A3).
+func (s *Service) Issue(hid ephid.HID, req *Request) (*cert.Cert, error) {
+	exp := uint32(s.now()) + s.policy.Clamp(req.Lifetime)
+	id := s.sealer.Mint(ephid.Payload{HID: hid, ExpTime: exp})
+	c := &cert.Cert{
+		Kind: req.Kind, EphID: id, ExpTime: exp,
+		AID: s.aid, AAEphID: s.aaEphID,
+		DHPub: req.DHPub, SigPub: req.SigPub,
+	}
+	c.Sign(s.signer)
+	s.issued()
+	return c, nil
+}
+
+// DecodeReply is the host-side decryption of the MS reply: it recovers
+// and parses the certificate using the host's kHA encryption key.
+func DecodeReply(encKey []byte, srcEphID ephid.EphID, reply []byte) (*cert.Cert, error) {
+	aead, err := crypto.NewAEAD(encKey, 0)
+	if err != nil {
+		return nil, err
+	}
+	plain, err := aead.Open(nil, reply, srcEphID[:])
+	if err != nil {
+		return nil, fmt.Errorf("ms: reply decryption failed: %w", err)
+	}
+	var c cert.Cert
+	if err := c.UnmarshalBinary(plain); err != nil {
+		return nil, err
+	}
+	return &c, nil
+}
+
+// EncodeRequest is the host-side encryption of a request under the
+// host's kHA encryption key, bound to the control EphID it will be sent
+// from.
+func EncodeRequest(encKey []byte, srcEphID ephid.EphID, req *Request) ([]byte, error) {
+	aead, err := crypto.NewAEAD(encKey, 0)
+	if err != nil {
+		return nil, err
+	}
+	return aead.Seal(nil, req.Encode(), srcEphID[:])
+}

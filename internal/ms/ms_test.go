@@ -1,0 +1,234 @@
+package ms
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"apna/internal/crypto"
+	"apna/internal/ephid"
+	"apna/internal/hostdb"
+)
+
+type fixture struct {
+	svc     *Service
+	sealer  *ephid.Sealer
+	signer  *crypto.Signer
+	db      *hostdb.DB
+	now     int64
+	hid     ephid.HID
+	keys    crypto.HostASKeys
+	ctrlID  ephid.EphID
+	aaEphID ephid.EphID
+}
+
+func newFixture(t *testing.T) *fixture {
+	t.Helper()
+	secret, err := crypto.ASSecretFromBytes(bytes.Repeat([]byte{5}, crypto.SymKeySize))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sealer, err := ephid.NewSealer(secret)
+	if err != nil {
+		t.Fatal(err)
+	}
+	signer, err := crypto.GenerateSigner()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &fixture{sealer: sealer, signer: signer, db: hostdb.New(), now: 1_000_000, hid: 42}
+	f.keys = crypto.DeriveHostASKeys([]byte("host42-shared"))
+	f.db.Put(hostdb.Entry{HID: f.hid, Keys: f.keys, RegisteredAt: f.now})
+	f.ctrlID = sealer.Mint(ephid.Payload{HID: f.hid, ExpTime: uint32(f.now) + 3600})
+	f.aaEphID = sealer.Mint(ephid.Payload{HID: 1, ExpTime: uint32(f.now) + 86400})
+	f.svc = New(64512, sealer, signer, f.db, DefaultPolicy(), f.aaEphID,
+		func() int64 { return f.now })
+	return f
+}
+
+func sampleRequest(t *testing.T) (*Request, *crypto.KeyPair, *crypto.Signer) {
+	t.Helper()
+	dh, err := crypto.GenerateKeyPair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig, err := crypto.GenerateSigner()
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := &Request{Kind: ephid.KindData, Lifetime: 600}
+	copy(req.DHPub[:], dh.PublicKey())
+	copy(req.SigPub[:], sig.PublicKey())
+	return req, dh, sig
+}
+
+func TestIssuanceEndToEnd(t *testing.T) {
+	f := newFixture(t)
+	req, _, _ := sampleRequest(t)
+
+	issued := 0
+	f.svc.SetIssuedHook(func() { issued++ })
+
+	// Host side: encrypt request under kHA.
+	ct, err := EncodeRequest(f.keys.Enc[:], f.ctrlID, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// MS side.
+	reply, err := f.svc.HandleRequest(f.ctrlID, ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Host side: decrypt certificate.
+	c, err := DecodeReply(f.keys.Enc[:], f.ctrlID, reply)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := c.Verify(f.signer.PublicKey(), f.now); err != nil {
+		t.Errorf("cert does not verify: %v", err)
+	}
+	if c.Kind != ephid.KindData || c.AID != 64512 || c.AAEphID != f.aaEphID {
+		t.Errorf("cert fields: %+v", c)
+	}
+	if c.DHPub != req.DHPub || c.SigPub != req.SigPub {
+		t.Error("cert keys do not match request")
+	}
+	if c.ExpTime != uint32(f.now)+600 {
+		t.Errorf("ExpTime = %d", c.ExpTime)
+	}
+	// The EphID decodes to the requesting host's HID.
+	p, err := f.sealer.Open(c.EphID)
+	if err != nil || p.HID != f.hid {
+		t.Errorf("EphID payload: %+v, %v", p, err)
+	}
+	if issued != 1 {
+		t.Errorf("issued hook fired %d times", issued)
+	}
+	// The new EphID differs from the control EphID (unlinkability).
+	if c.EphID == f.ctrlID {
+		t.Error("issued EphID equals control EphID")
+	}
+}
+
+func TestHandleRequestForgedEphID(t *testing.T) {
+	f := newFixture(t)
+	var forged ephid.EphID
+	forged[0] = 0xFF
+	if _, err := f.svc.HandleRequest(forged, []byte("x")); !errors.Is(err, ErrBadEphID) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestHandleRequestExpiredControlEphID(t *testing.T) {
+	f := newFixture(t)
+	expired := f.sealer.Mint(ephid.Payload{HID: f.hid, ExpTime: uint32(f.now) - 1})
+	if _, err := f.svc.HandleRequest(expired, []byte("x")); !errors.Is(err, ErrExpiredEphID) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestHandleRequestRevokedHost(t *testing.T) {
+	f := newFixture(t)
+	f.db.Revoke(f.hid)
+	req, _, _ := sampleRequest(t)
+	ct, _ := EncodeRequest(f.keys.Enc[:], f.ctrlID, req)
+	if _, err := f.svc.HandleRequest(f.ctrlID, ct); !errors.Is(err, ErrUnknownHost) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestHandleRequestUnknownHost(t *testing.T) {
+	f := newFixture(t)
+	ghost := f.sealer.Mint(ephid.Payload{HID: 999, ExpTime: uint32(f.now) + 100})
+	if _, err := f.svc.HandleRequest(ghost, []byte("x")); !errors.Is(err, ErrUnknownHost) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestHandleRequestGarbageCiphertext(t *testing.T) {
+	f := newFixture(t)
+	if _, err := f.svc.HandleRequest(f.ctrlID, bytes.Repeat([]byte{7}, 64)); !errors.Is(err, ErrDecryptFailed) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestHandleRequestWrongKeyCiphertext(t *testing.T) {
+	// A request encrypted under another host's key must not decrypt —
+	// this is what stops an observer forging requests for someone
+	// else's control EphID.
+	f := newFixture(t)
+	req, _, _ := sampleRequest(t)
+	otherKeys := crypto.DeriveHostASKeys([]byte("mallory"))
+	ct, _ := EncodeRequest(otherKeys.Enc[:], f.ctrlID, req)
+	if _, err := f.svc.HandleRequest(f.ctrlID, ct); !errors.Is(err, ErrDecryptFailed) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestHandleRequestBoundToSourceEphID(t *testing.T) {
+	// The request AEAD binds the control EphID as AAD: splicing a
+	// ciphertext onto a different (valid) EphID of the same host must
+	// fail.
+	f := newFixture(t)
+	req, _, _ := sampleRequest(t)
+	ct, _ := EncodeRequest(f.keys.Enc[:], f.ctrlID, req)
+	otherCtrl := f.sealer.Mint(ephid.Payload{HID: f.hid, ExpTime: uint32(f.now) + 3600})
+	if _, err := f.svc.HandleRequest(otherCtrl, ct); !errors.Is(err, ErrDecryptFailed) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestRequestCodec(t *testing.T) {
+	req, _, _ := sampleRequest(t)
+	got, err := DecodeRequest(req.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got != *req {
+		t.Errorf("roundtrip: %+v vs %+v", got, req)
+	}
+	if _, err := DecodeRequest(make([]byte, RequestSize-1)); !errors.Is(err, ErrBadRequest) {
+		t.Errorf("short: %v", err)
+	}
+	if _, err := DecodeRequest(make([]byte, RequestSize+1)); !errors.Is(err, ErrBadRequest) {
+		t.Errorf("long: %v", err)
+	}
+}
+
+func TestPolicyClamp(t *testing.T) {
+	p := Policy{DefaultLifetime: 900, MaxLifetime: 3600}
+	if got := p.Clamp(0); got != 900 {
+		t.Errorf("Clamp(0) = %d", got)
+	}
+	if got := p.Clamp(100); got != 100 {
+		t.Errorf("Clamp(100) = %d", got)
+	}
+	if got := p.Clamp(100_000); got != 3600 {
+		t.Errorf("Clamp(100000) = %d", got)
+	}
+	def := DefaultPolicy()
+	if def.DefaultLifetime != 15*60 {
+		t.Errorf("default lifetime %d", def.DefaultLifetime)
+	}
+}
+
+func TestIssueDirect(t *testing.T) {
+	f := newFixture(t)
+	req, _, _ := sampleRequest(t)
+	req.Lifetime = 0 // use default
+	c, err := f.svc.Issue(f.hid, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.ExpTime != uint32(f.now)+DefaultPolicy().DefaultLifetime {
+		t.Errorf("ExpTime = %d", c.ExpTime)
+	}
+}
+
+func TestDecodeReplyGarbage(t *testing.T) {
+	f := newFixture(t)
+	if _, err := DecodeReply(f.keys.Enc[:], f.ctrlID, []byte("junk-reply-bytes-too-short")); err == nil {
+		t.Error("garbage reply accepted")
+	}
+}

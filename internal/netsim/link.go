@@ -1,0 +1,105 @@
+package netsim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Handler consumes frames arriving at a node. from identifies the port
+// the frame arrived on, letting routers distinguish interfaces.
+type Handler interface {
+	HandleFrame(frame []byte, from *Port)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(frame []byte, from *Port)
+
+// HandleFrame implements Handler.
+func (f HandlerFunc) HandleFrame(frame []byte, from *Port) { f(frame, from) }
+
+// Link is a bidirectional point-to-point link between two ports, with a
+// one-way latency and an independent loss probability per frame.
+type Link struct {
+	sim     *Simulator
+	latency time.Duration
+	loss    float64
+	name    string
+	a, b    Port
+
+	stats LinkStats
+}
+
+// LinkStats counts traffic over a link (both directions).
+type LinkStats struct {
+	Frames  uint64
+	Bytes   uint64
+	Dropped uint64
+}
+
+// NewLink creates a link in the simulator with the given one-way latency
+// and loss probability in [0,1).
+func (s *Simulator) NewLink(name string, latency time.Duration, loss float64) *Link {
+	l := &Link{sim: s, latency: latency, loss: loss, name: name}
+	l.a = Port{link: l, peer: &l.b}
+	l.b = Port{link: l, peer: &l.a}
+	return l
+}
+
+// A returns the first port of the link.
+func (l *Link) A() *Port { return &l.a }
+
+// B returns the second port of the link.
+func (l *Link) B() *Port { return &l.b }
+
+// Latency returns the one-way latency.
+func (l *Link) Latency() time.Duration { return l.latency }
+
+// Stats returns a snapshot of the link counters.
+func (l *Link) Stats() LinkStats { return l.stats }
+
+// String names the link.
+func (l *Link) String() string { return fmt.Sprintf("link(%s)", l.name) }
+
+// Port is one end of a link. Attach binds it to a node; Send transmits
+// toward the opposite end.
+type Port struct {
+	link  *Link
+	peer  *Port
+	owner Handler
+	label string
+}
+
+// Attach binds the port to its owning node.
+func (p *Port) Attach(owner Handler, label string) {
+	p.owner = owner
+	p.label = label
+}
+
+// Owner returns the attached handler (nil if unattached).
+func (p *Port) Owner() Handler { return p.owner }
+
+// Label returns the attachment label (for diagnostics).
+func (p *Port) Label() string { return p.label }
+
+// Link returns the port's link.
+func (p *Port) Link() *Link { return p.link }
+
+// Send transmits a frame to the opposite port after the link latency.
+// The frame is copied at send time: simulated nodes may reuse buffers,
+// and real links serialize bits, not aliases.
+func (p *Port) Send(frame []byte) {
+	l := p.link
+	if l.loss > 0 && l.sim.rng.Float64() < l.loss {
+		l.stats.Dropped++
+		return
+	}
+	l.stats.Frames++
+	l.stats.Bytes += uint64(len(frame))
+	buf := append([]byte(nil), frame...)
+	dst := p.peer
+	l.sim.Schedule(l.latency, func() {
+		if dst.owner != nil {
+			dst.owner.HandleFrame(buf, dst)
+		}
+	})
+}

@@ -1,0 +1,139 @@
+// Package netsim is the network substrate: a deterministic
+// discrete-event simulator in which the APNA entities (hosts, border
+// routers, AS services) run. It replaces the paper's physical testbed.
+//
+// Time is virtual: link latencies advance a simulated clock instead of
+// sleeping, so protocol latency experiments (e.g. the
+// connection-establishment RTT analysis of Section VII-C) are exact,
+// fast and reproducible. Throughput experiments do not run through the
+// simulator at all — they drive the router pipelines directly (see
+// internal/pktgen) — so simulator overhead never pollutes performance
+// numbers.
+package netsim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Simulator is a single-threaded discrete-event scheduler with a virtual
+// clock. All handlers run on the caller's goroutine during Run; this
+// makes simulations deterministic for a fixed seed and schedule.
+type Simulator struct {
+	now    time.Duration // virtual time since simulation start
+	seq    uint64        // tie-breaker for events at equal times
+	queue  eventQueue
+	rng    *rand.Rand
+	epoch  int64 // Unix seconds corresponding to virtual time zero
+	events uint64
+}
+
+// DefaultEpoch is the Unix time at which simulations start unless
+// overridden: 2026-01-01 00:00:00 UTC.
+const DefaultEpoch int64 = 1_767_225_600
+
+// New creates a simulator seeded for deterministic pseudo-randomness
+// (link loss, jitter).
+func New(seed int64) *Simulator {
+	return &Simulator{
+		rng:   rand.New(rand.NewSource(seed)),
+		epoch: DefaultEpoch,
+	}
+}
+
+// SetEpoch overrides the Unix time of virtual time zero.
+func (s *Simulator) SetEpoch(unix int64) { s.epoch = unix }
+
+// Now returns the current virtual time since simulation start.
+func (s *Simulator) Now() time.Duration { return s.now }
+
+// NowUnix returns the current virtual wall-clock time in Unix seconds,
+// the time base used for EphID expiration checks.
+func (s *Simulator) NowUnix() int64 {
+	return s.epoch + int64(s.now/time.Second)
+}
+
+// Rand exposes the simulator's deterministic randomness source.
+func (s *Simulator) Rand() *rand.Rand { return s.rng }
+
+// Schedule runs fn at now+delay. A negative delay panics: the simulator
+// cannot travel back in time.
+func (s *Simulator) Schedule(delay time.Duration, fn func()) {
+	if delay < 0 {
+		panic(fmt.Sprintf("netsim: negative delay %v", delay))
+	}
+	s.seq++
+	heap.Push(&s.queue, &event{at: s.now + delay, seq: s.seq, fn: fn})
+}
+
+// Step executes the single next event, returning false if the queue is
+// empty.
+func (s *Simulator) Step() bool {
+	if s.queue.Len() == 0 {
+		return false
+	}
+	ev := heap.Pop(&s.queue).(*event)
+	s.now = ev.at
+	s.events++
+	ev.fn()
+	return true
+}
+
+// Run executes events until the queue is empty or the budget of steps is
+// exhausted, returning the number of events executed. A budget guards
+// against livelocked simulations (two nodes bouncing a packet forever).
+func (s *Simulator) Run(budget int) int {
+	n := 0
+	for n < budget && s.Step() {
+		n++
+	}
+	return n
+}
+
+// RunUntil executes events with timestamps at or before the deadline
+// (virtual time since start).
+func (s *Simulator) RunUntil(deadline time.Duration) int {
+	n := 0
+	for s.queue.Len() > 0 && s.queue[0].at <= deadline {
+		s.Step()
+		n++
+	}
+	if s.now < deadline {
+		s.now = deadline
+	}
+	return n
+}
+
+// Pending reports the number of queued events.
+func (s *Simulator) Pending() int { return s.queue.Len() }
+
+// Events reports the total number of events executed so far.
+func (s *Simulator) Events() uint64 { return s.events }
+
+type event struct {
+	at  time.Duration
+	seq uint64
+	fn  func()
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}

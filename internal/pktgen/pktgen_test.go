@@ -1,0 +1,97 @@
+package pktgen
+
+import (
+	"math"
+	"testing"
+
+	"apna/internal/border"
+	"apna/internal/wire"
+)
+
+func TestLineRatePPS(t *testing.T) {
+	// 120 Gbps at 1518 B frames: 120e9 / ((1518+20)*8) = 9.75 Mpps.
+	got := LineRatePPS(120, 1518)
+	want := 120e9 / ((1518 + 20) * 8)
+	if math.Abs(got-want) > 1 {
+		t.Errorf("line rate = %f, want %f", got, want)
+	}
+	// Smaller frames mean higher packet rates.
+	if LineRatePPS(120, 128) <= LineRatePPS(120, 1518) {
+		t.Error("line rate not monotone in frame size")
+	}
+}
+
+func TestFixtureFramesValid(t *testing.T) {
+	f, err := NewFixture(16, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Frames) != 16 {
+		t.Fatalf("frames = %d", len(f.Frames))
+	}
+	pipe := f.Router.NewEgressPipeline()
+	for i, frame := range f.Frames {
+		if len(frame) != 256 {
+			t.Fatalf("frame %d size %d", i, len(frame))
+		}
+		if !wire.ValidFrame(frame) {
+			t.Fatalf("frame %d invalid", i)
+		}
+		if v := pipe.Process(frame); v != border.VerdictForward {
+			t.Fatalf("frame %d verdict %v", i, v)
+		}
+	}
+}
+
+func TestFixtureRejectsTinyFrames(t *testing.T) {
+	if _, err := NewFixture(1, wire.HeaderSize-1); err == nil {
+		t.Error("sub-header frame size accepted")
+	}
+}
+
+func TestRunProducesConsistentResult(t *testing.T) {
+	f, err := NewFixture(8, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := f.Run(2, 5_000, PaperCapacityGbps)
+	if res.Packets != 10_000 {
+		t.Errorf("packets = %d", res.Packets)
+	}
+	if res.PipelinePPS <= 0 {
+		t.Error("no throughput measured")
+	}
+	if res.DeliveredPPS > res.LinePPS+1 {
+		t.Error("delivered exceeds line rate")
+	}
+	if res.DeliveredPPS > res.PipelinePPS+1 {
+		t.Error("delivered exceeds pipeline capability")
+	}
+	wantGbps := res.DeliveredPPS * 128 * 8 / 1e9
+	if math.Abs(res.DeliveredGbps-wantGbps) > 1e-9 {
+		t.Errorf("gbps = %f, want %f", res.DeliveredGbps, wantGbps)
+	}
+	if res.FrameSize != 128 || res.Workers != 2 {
+		t.Errorf("result metadata: %+v", res)
+	}
+}
+
+func TestSweepPaperSizes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep is a heavier smoke test")
+	}
+	results, err := Sweep(64, 2, 2_000, PaperCapacityGbps, PaperPacketSizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(PaperPacketSizes) {
+		t.Fatalf("results = %d", len(results))
+	}
+	// Figure 8(a) shape: the line-rate ceiling (and hence delivered
+	// pps when line-limited) decreases with frame size.
+	for i := 1; i < len(results); i++ {
+		if results[i].LinePPS >= results[i-1].LinePPS {
+			t.Errorf("line pps not decreasing: %f -> %f", results[i-1].LinePPS, results[i].LinePPS)
+		}
+	}
+}

@@ -1,0 +1,47 @@
+package wire
+
+import (
+	"apna/internal/crypto"
+)
+
+// Per-packet MAC computation (Section IV-D2): every packet a host sends
+// carries an 8-byte MAC computed with the key it shares with its AS, so
+// the AS can link the packet to the host and drop spoofed traffic.
+//
+// The MAC covers the whole header except the MAC field itself and the
+// mutable HopLimit byte (zeroed in the MAC input so transit decrements
+// do not invalidate the shutoff-evidence check of Figure 5), followed by
+// the payload.
+
+var zeroByte = []byte{0}
+
+// PacketMAC computes and verifies per-packet MACs for one host<->AS key.
+// It wraps an AES-CMAC instance and is therefore not safe for concurrent
+// use; pipelines allocate one per worker.
+type PacketMAC struct {
+	cmac *crypto.CMAC
+}
+
+// NewPacketMAC builds a PacketMAC from the host<->AS MAC key (the MAC
+// half of kHA).
+func NewPacketMAC(key []byte) (*PacketMAC, error) {
+	c, err := crypto.NewCMAC(key)
+	if err != nil {
+		return nil, err
+	}
+	return &PacketMAC{cmac: c}, nil
+}
+
+// Apply computes the MAC over the frame (header plus payload) and writes
+// it into the frame's MAC field. The frame must be a serialized packet
+// of at least HeaderSize bytes.
+func (m *PacketMAC) Apply(frame []byte) {
+	m.cmac.SumTruncated(frame[offMAC:offMAC+MACSize], MACSize,
+		frame[:offHopLimit], zeroByte, frame[offHopLimit+1:offMAC], frame[HeaderSize:])
+}
+
+// Verify reports whether the frame's MAC field matches its contents.
+func (m *PacketMAC) Verify(frame []byte) bool {
+	return m.cmac.Verify(frame[offMAC:offMAC+MACSize],
+		frame[:offHopLimit], zeroByte, frame[offHopLimit+1:offMAC], frame[HeaderSize:])
+}

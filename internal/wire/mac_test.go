@@ -1,0 +1,96 @@
+package wire
+
+import (
+	"testing"
+	"testing/quick"
+
+	"apna/internal/crypto"
+)
+
+func testMAC(t *testing.T) *PacketMAC {
+	t.Helper()
+	key := crypto.DeriveKey([]byte("host-as-secret"), "test/mac", crypto.SymKeySize)
+	m, err := NewPacketMAC(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func macFrame(t *testing.T, payload []byte) []byte {
+	t.Helper()
+	p := Packet{Header: sampleHeader(), Payload: payload}
+	frame, err := p.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return frame
+}
+
+func TestPacketMACApplyVerify(t *testing.T) {
+	m := testMAC(t)
+	frame := macFrame(t, []byte("payload bytes"))
+	m.Apply(frame)
+	if !m.Verify(frame) {
+		t.Fatal("freshly MACed frame does not verify")
+	}
+}
+
+func TestPacketMACWrongKey(t *testing.T) {
+	m := testMAC(t)
+	frame := macFrame(t, []byte("payload"))
+	m.Apply(frame)
+
+	other, err := NewPacketMAC(crypto.DeriveKey([]byte("different"), "test/mac", crypto.SymKeySize))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other.Verify(frame) {
+		t.Error("MAC verified under wrong key — spoofing possible")
+	}
+}
+
+func TestPacketMACDetectsTampering(t *testing.T) {
+	m := testMAC(t)
+	frame := macFrame(t, []byte("sensitive payload"))
+	m.Apply(frame)
+	for i := range frame {
+		if i == offHopLimit {
+			continue // deliberately not covered
+		}
+		frame[i] ^= 1
+		if m.Verify(frame) {
+			t.Fatalf("tampered byte %d accepted", i)
+		}
+		frame[i] ^= 1
+	}
+}
+
+func TestPacketMACSurvivesHopLimitDecrement(t *testing.T) {
+	// Shutoff evidence verification (Figure 5) happens after transit;
+	// the MAC must survive hop-limit decrements.
+	m := testMAC(t)
+	frame := macFrame(t, []byte("evidence"))
+	m.Apply(frame)
+	for i := 0; i < 10; i++ {
+		FrameDecrementHopLimit(frame)
+	}
+	if !m.Verify(frame) {
+		t.Error("MAC broken by hop-limit decrement")
+	}
+}
+
+func TestPacketMACPayloadSizesProperty(t *testing.T) {
+	m := testMAC(t)
+	f := func(payload []byte) bool {
+		if len(payload) > MaxPayload {
+			payload = payload[:MaxPayload]
+		}
+		frame := macFrame(&testing.T{}, payload)
+		m.Apply(frame)
+		return m.Verify(frame)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -11,45 +11,58 @@
 //
 // A minimal session looks like:
 //
-//	in, _ := apna.NewInternet(1)
-//	a, _ := in.AddAS(100)
-//	b, _ := in.AddAS(200)
-//	in.Connect(100, 200, 20*time.Millisecond)
-//	in.Build()
+//	in, _ := apna.New(1,
+//		apna.WithAS(100, "alice"),
+//		apna.WithAS(200, "bob"),
+//		apna.WithLink(100, 200, 20*time.Millisecond))
 //
-//	alice, _ := in.AddHost(100, "alice")
-//	bob, _ := in.AddHost(200, "bob")
+//	alice, bob := in.Host("alice"), in.Host("bob")
 //	idA, _ := alice.NewEphID(ephid.KindData, 900)
 //	idB, _ := bob.NewEphID(ephid.KindData, 900)
 //
 //	conn, _ := alice.Connect(idA, &idB.Cert, nil)
-//	conn.Send([]byte("hello over encrypted APNA"))
-//	in.RunUntilIdle()
+//	alice.Send(conn, []byte("hello over encrypted APNA"))
 //
 // Every packet alice sends is linkable to her by AS 100 (and only
 // AS 100), carries a MAC her AS verifies at egress, and is encrypted
 // end to end with a key derived from the two EphIDs' certificates.
 //
+// Every blocking helper above is a thin Await wrapper over a
+// non-blocking *Async counterpart (NewEphIDAsync, ConnectAsync, ...)
+// returning a Pending future. Initiating many operations before
+// awaiting them interleaves their packets in one shared timeline:
+//
+//	ops := []apna.Op{}
+//	for _, h := range in.Hosts() {
+//		ops = append(ops, h.NewEphIDAsync(ephid.KindData, 900))
+//	}
+//	in.AwaitAll(ops...) // all issuance handshakes overlap
+//
 // Use of AS, Host and Internet values is single-goroutine, matching the
-// discrete-event simulator underneath; see DESIGN.md for the full
-// architecture and EXPERIMENTS.md for the reproduction results.
+// discrete-event simulator underneath; see README.md for a tour and
+// DESIGN.md for the architecture.
 package apna
 
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 
+	"apna/internal/cert"
 	"apna/internal/dns"
 	"apna/internal/ephid"
+	"apna/internal/host"
 	"apna/internal/ms"
 	"apna/internal/netsim"
 	"apna/internal/rpki"
 	"apna/internal/wire"
 )
 
-// Re-exported identifier types so example code rarely needs the
-// internal packages.
+// Re-exported types so consumers outside this module (which cannot
+// import the internal packages) can name every value the facade hands
+// out — identifiers, certificates, connections, messages, and the host
+// stack itself.
 type (
 	// AID identifies an AS.
 	AID = ephid.AID
@@ -57,16 +70,39 @@ type (
 	HID = ephid.HID
 	// EphID is the 16-byte ephemeral identifier.
 	EphID = ephid.EphID
+	// Kind classifies how an EphID is used.
+	Kind = ephid.Kind
 	// Endpoint is a routable AID:EphID address.
 	Endpoint = wire.Endpoint
+	// Cert is an AS-issued EphID certificate.
+	Cert = cert.Cert
+	// OwnedEphID is an EphID a host holds the private keys for.
+	OwnedEphID = host.OwnedEphID
+	// Conn is a host's handle on an established connection.
+	Conn = host.Conn
+	// Message is application data delivered by a host stack.
+	Message = host.Message
+	// Stack is the underlying protocol stack behind a facade Host.
+	Stack = host.Host
+)
+
+// Re-exported EphID kinds (Section VIII-A / VII-A of the paper).
+const (
+	// KindData is a data-plane EphID for regular communication.
+	KindData = ephid.KindData
+	// KindControl is issued at bootstrap to reach AS services.
+	KindControl = ephid.KindControl
+	// KindReceiveOnly marks an EphID that is only ever a destination.
+	KindReceiveOnly = ephid.KindReceiveOnly
 )
 
 // Errors returned by the facade.
 var (
-	ErrDuplicateAS = errors.New("apna: AS already exists")
-	ErrUnknownAS   = errors.New("apna: unknown AS")
-	ErrNotBuilt    = errors.New("apna: internet not built (call Build)")
-	ErrTimeout     = errors.New("apna: operation did not complete")
+	ErrDuplicateAS   = errors.New("apna: AS already exists")
+	ErrDuplicateHost = errors.New("apna: host name already exists")
+	ErrUnknownAS     = errors.New("apna: unknown AS")
+	ErrNotBuilt      = errors.New("apna: internet not built (call Build)")
+	ErrTimeout       = errors.New("apna: operation did not complete")
 )
 
 // Options tunes internet construction.
@@ -102,8 +138,12 @@ type Internet struct {
 	opts      Options
 	authority *rpki.Authority
 	ases      map[AID]*AS
+	hosts     map[string]*Host
 	adjacency map[AID][]AID
 	built     bool
+	// live holds outstanding async operations with reply-routing state,
+	// settled (resolved or abandoned) whenever the timeline quiesces.
+	live []Op
 }
 
 // NewInternet creates an empty internet with default options.
@@ -128,6 +168,7 @@ func NewInternetWithOptions(seed int64, opts Options) (*Internet, error) {
 		opts:      opts,
 		authority: auth,
 		ases:      make(map[AID]*AS),
+		hosts:     make(map[string]*Host),
 		adjacency: make(map[AID][]AID),
 	}, nil
 }
@@ -137,6 +178,25 @@ func (in *Internet) Now() int64 { return in.Sim.NowUnix() }
 
 // AS returns the AS with the given AID, or nil.
 func (in *Internet) AS(aid AID) *AS { return in.ases[aid] }
+
+// Host returns the host with the given name, or nil. Names are assigned
+// by AddHost / WithAS / WithHosts and are unique within the internet.
+func (in *Internet) Host(name string) *Host { return in.hosts[name] }
+
+// Hosts returns every host in the internet, sorted by name, for
+// scenario code that fans operations out across the whole population.
+func (in *Internet) Hosts() []*Host {
+	names := make([]string, 0, len(in.hosts))
+	for name := range in.hosts {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	hosts := make([]*Host, len(names))
+	for i, name := range names {
+		hosts[i] = in.hosts[name]
+	}
+	return hosts
+}
 
 // Connect links two ASes' border routers with the given one-way
 // latency.
@@ -167,8 +227,22 @@ func (in *Internet) Build() error {
 }
 
 // RunUntilIdle drains the event queue (bounded) and returns the number
-// of events executed.
-func (in *Internet) RunUntilIdle() int { return in.Sim.Run(1 << 22) }
+// of events executed. Reaching idle settles outstanding asynchronous
+// operations exactly like an Await that drains the timeline.
+func (in *Internet) RunUntilIdle() int {
+	n := in.Sim.Run(1 << 22)
+	if in.Sim.Pending() == 0 {
+		in.settleLive()
+	}
+	return n
+}
 
-// RunFor advances virtual time by d, executing due events.
-func (in *Internet) RunFor(d time.Duration) { in.Sim.RunUntil(in.Sim.Now() + d) }
+// RunFor advances virtual time by d, executing due events. Like
+// RunUntilIdle, reaching quiescence settles outstanding asynchronous
+// operations.
+func (in *Internet) RunFor(d time.Duration) {
+	in.Sim.RunUntil(in.Sim.Now() + d)
+	if in.Sim.Pending() == 0 {
+		in.settleLive()
+	}
+}

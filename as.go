@@ -2,7 +2,6 @@ package apna
 
 import (
 	"fmt"
-	"time"
 
 	"apna/internal/aa"
 	"apna/internal/border"
@@ -281,5 +280,3 @@ func (as *AS) Secret() *crypto.ASSecret { return as.secret }
 
 // SignerPublicKey returns the AS's certificate-verification key.
 func (as *AS) SignerPublicKey() []byte { return as.signer.PublicKey() }
-
-var _ = time.Duration(0)

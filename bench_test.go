@@ -1,7 +1,7 @@
 package apna
 
 // Benchmark harness: one testing.B benchmark per paper artifact plus
-// the ablations listed in DESIGN.md §3.
+// micro-ablations of the hot-path primitives.
 //
 //	E1  -> BenchmarkEphIDIssuance{,Parallel}, BenchmarkMSHandleRequest
 //	E3  -> BenchmarkBorderEgress/<size> (Figure 8a/8b raw pipeline)

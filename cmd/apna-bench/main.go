@@ -1,8 +1,9 @@
 // Command apna-bench regenerates the paper's evaluation artifacts
 // (Section V and Section VII-C): the MS performance table, the trace
-// statistics it is sized against, both Figure 8 forwarding series, and
-// the connection-establishment latency analysis. See EXPERIMENTS.md for
-// the recorded paper-vs-measured comparison.
+// statistics it is sized against, both Figure 8 forwarding series, the
+// connection-establishment latency analysis, and the concurrent
+// multi-flow scenario (E6); each table prints the paper's numbers next
+// to the measured ones.
 //
 // Usage:
 //
@@ -10,6 +11,7 @@
 //	apna-bench -exp e1 -requests 500000 -workers 4
 //	apna-bench -exp e3 -pkts 200000
 //	apna-bench -exp e2 -small     # quick synthetic trace
+//	apna-bench -exp e6            # concurrent multi-flow scenario
 package main
 
 import (
@@ -25,7 +27,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: e1, e2, e3 (includes e4), e5, all")
+		exp      = flag.String("exp", "all", "experiment: e1, e2, e3 (includes e4), e5, e6, all")
 		requests = flag.Int("requests", 500_000, "E1: number of EphID requests")
 		workers  = flag.Int("workers", 4, "E1: parallel issuance workers (paper: 4)")
 		fwdHosts = flag.Int("hosts", 256, "E3: simulated source hosts")
@@ -85,6 +87,19 @@ func main() {
 			fatal(err)
 		}
 		experiments.FprintE5(os.Stdout, res)
+		fmt.Println()
+	}
+
+	if run("e6") {
+		cfg := experiments.DefaultScenario()
+		cfg.Seed = *seed
+		fmt.Fprintf(os.Stderr, "concurrent scenario: %d ASes x %d hosts, %d flows/host...\n",
+			cfg.ASes, cfg.HostsPerAS, cfg.FlowsPerHost)
+		res, err := experiments.RunE6(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		res.Fprint(os.Stdout)
 		fmt.Println()
 	}
 }

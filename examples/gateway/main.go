@@ -20,34 +20,34 @@ import (
 )
 
 func main() {
-	in, err := apna.NewInternet(5)
+	// The gateway is an ordinary APNA host of AS 100; a native APNA
+	// server lives in AS 200.
+	in, err := apna.New(5,
+		apna.WithAS(100, "gateway"),
+		apna.WithAS(200, "server"),
+		apna.WithLink(100, 200, 12*time.Millisecond))
 	if err != nil {
 		log.Fatal(err)
 	}
-	mustAS(in, 100)
-	mustAS(in, 200)
-	must(in.Connect(100, 200, 12*time.Millisecond))
-	must(in.Build())
+	gwHost, server := in.Host("gateway"), in.Host("server")
 
-	// The gateway is an ordinary APNA host of AS 100.
-	gwHost, err := in.AddHost(100, "gateway")
-	if err != nil {
-		log.Fatal(err)
-	}
 	var toLegacy [][]byte
 	gw := gateway.New(gwHost.Stack, func(pkt []byte) { toLegacy = append(toLegacy, pkt) })
+
+	// The gateway pre-acquires its EphID pool and the server its
+	// identity in one overlapped issuance wave.
+	pServer := server.NewEphIDAsync(ephid.KindData, 3600)
+	var pool []*apna.Pending[*apna.OwnedEphID]
 	for i := 0; i < 4; i++ {
-		if _, err := gwHost.NewEphID(ephid.KindData, 900); err != nil {
+		pool = append(pool, gwHost.NewEphIDAsync(ephid.KindData, 900))
+	}
+	must(in.AwaitAll(append(apna.Ops(pool...), pServer)...))
+	for _, p := range pool {
+		if _, err := p.Result(); err != nil {
 			log.Fatal(err)
 		}
 	}
-
-	// A native APNA server in AS 200.
-	server, err := in.AddHost(200, "server")
-	if err != nil {
-		log.Fatal(err)
-	}
-	idS, err := server.NewEphID(ephid.KindData, 3600)
+	idS, err := pServer.Result()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -101,12 +101,6 @@ func udp(src, dst uint32, sport, dport uint16, body string) []byte {
 
 func ip4(v uint32) string {
 	return fmt.Sprintf("%d.%d.%d.%d", byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
-}
-
-func mustAS(in *apna.Internet, aid apna.AID) {
-	if _, err := in.AddAS(aid); err != nil {
-		log.Fatal(err)
-	}
 }
 
 func must(err error) {

@@ -22,25 +22,16 @@ import (
 )
 
 func main() {
-	in, err := apna.NewInternet(3)
+	in, err := apna.New(3,
+		apna.WithAS(100, "cafe-ap"),
+		apna.WithAS(200, "peer"),
+		apna.WithLink(100, 200, 10*time.Millisecond))
 	if err != nil {
 		log.Fatal(err)
 	}
-	mustAS(in, 100)
-	mustAS(in, 200)
-	must(in.Connect(100, 200, 10*time.Millisecond))
-	must(in.Build())
-
-	apHost, err := in.AddHost(100, "cafe-ap")
-	if err != nil {
-		log.Fatal(err)
-	}
+	apHost, peer := in.Host("cafe-ap"), in.Host("peer")
 	nat := ap.NewNAT(apHost.Stack, in.Sim)
 
-	peer, err := in.AddHost(200, "peer")
-	if err != nil {
-		log.Fatal(err)
-	}
 	idPeer, err := peer.NewEphID(ephid.KindData, 3600)
 	if err != nil {
 		log.Fatal(err)
@@ -95,12 +86,6 @@ func main() {
 	fmt.Printf("peer received %d messages: %q\n", len(peerGot), peerGot)
 	fmt.Printf("AP forwarded %d frames, rejected %d with bad client MACs\n",
 		nat.Forwarded, nat.DroppedBadMAC)
-}
-
-func mustAS(in *apna.Internet, aid apna.AID) {
-	if _, err := in.AddAS(aid); err != nil {
-		log.Fatal(err)
-	}
 }
 
 func must(err error) {

@@ -18,36 +18,33 @@ import (
 )
 
 func main() {
-	// A two-AS internet with a 10 ms inter-domain link.
-	in, err := apna.NewInternet(1)
+	// A two-AS internet with a 10 ms inter-domain link, declared as a
+	// topology: ASes, their hosts, and the link between them. Host
+	// bootstrapping (Figure 2) — subscriber authentication, the kHA
+	// Diffie-Hellman exchange, control-EphID issuance, and host_info
+	// registration — happens during the build.
+	in, err := apna.New(1,
+		apna.WithAS(64512, "alice"),
+		apna.WithAS(64513, "bob"),
+		apna.WithLink(64512, 64513, 10*time.Millisecond))
 	if err != nil {
 		log.Fatal(err)
 	}
-	mustAS(in, 64512)
-	mustAS(in, 64513)
-	must(in.Connect(64512, 64513, 10*time.Millisecond))
-	must(in.Build())
-
-	// Host bootstrapping (Figure 2) happens inside AddHost: subscriber
-	// authentication, the kHA Diffie-Hellman exchange, control-EphID
-	// issuance, and host_info registration.
-	alice, err := in.AddHost(64512, "alice")
-	if err != nil {
-		log.Fatal(err)
-	}
-	bob, err := in.AddHost(64513, "bob")
-	if err != nil {
-		log.Fatal(err)
-	}
+	alice, bob := in.Host("alice"), in.Host("bob")
 	fmt.Println("bootstrapped alice in AS64512 and bob in AS64513")
 
 	// EphID issuance (Figure 3): each host asks its AS's management
 	// service for a data-plane EphID over an encrypted control channel.
-	idA, err := alice.NewEphID(ephid.KindData, 900)
+	// The Async forms issue both requests before the simulator runs, so
+	// the two exchanges overlap in one timeline.
+	pA := alice.NewEphIDAsync(ephid.KindData, 900)
+	pB := bob.NewEphIDAsync(ephid.KindData, 900)
+	must(in.AwaitAll(pA, pB))
+	idA, err := pA.Result()
 	if err != nil {
 		log.Fatal(err)
 	}
-	idB, err := bob.NewEphID(ephid.KindData, 900)
+	idB, err := pB.Result()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -55,7 +52,8 @@ func main() {
 	fmt.Printf("bob's   EphID: %v\n", idB.Cert.EphID)
 
 	// Connection establishment (Section IV-D1): alice holds bob's
-	// certificate, derives the session key, and handshakes.
+	// certificate, derives the session key, and handshakes. The
+	// blocking helpers are Await wrappers over the same async core.
 	conn, err := alice.Connect(idA, &idB.Cert, nil)
 	if err != nil {
 		log.Fatal(err)
@@ -80,12 +78,6 @@ func main() {
 	fmt.Printf("AS64512 attributes EphID to HID %v (alice is %v)\n", p.HID, alice.HID())
 	if _, err := in.AS(64513).Sealer().Open(idA.Cert.EphID); err != nil {
 		fmt.Println("AS64513 cannot decode alice's EphID: host privacy holds")
-	}
-}
-
-func mustAS(in *apna.Internet, aid apna.AID) {
-	if _, err := in.AddAS(aid); err != nil {
-		log.Fatal(err)
 	}
 }
 

@@ -21,23 +21,15 @@ import (
 func main() {
 	opts := apna.DefaultOptions()
 	opts.StrikeLimit = 3
-	in, err := apna.NewInternetWithOptions(99, opts)
+	in, err := apna.New(99,
+		apna.WithOptions(opts),
+		apna.WithAS(100, "attacker"),
+		apna.WithAS(200, "victim"),
+		apna.WithLink(100, 200, 8*time.Millisecond))
 	if err != nil {
 		log.Fatal(err)
 	}
-	mustAS(in, 100)
-	mustAS(in, 200)
-	must(in.Connect(100, 200, 8*time.Millisecond))
-	must(in.Build())
-
-	attacker, err := in.AddHost(100, "attacker")
-	if err != nil {
-		log.Fatal(err)
-	}
-	victim, err := in.AddHost(200, "victim")
-	if err != nil {
-		log.Fatal(err)
-	}
+	attacker, victim := in.Host("attacker"), in.Host("victim")
 	idV, err := victim.NewEphID(ephid.KindData, 3600)
 	if err != nil {
 		log.Fatal(err)
@@ -82,12 +74,6 @@ func main() {
 	fmt.Printf("AS100 revocation list holds %d EphIDs; shutoff never touched other hosts\n",
 		in.AS(100).Router.Revoked().Len())
 	_ = st
-}
-
-func mustAS(in *apna.Internet, aid apna.AID) {
-	if _, err := in.AddAS(aid); err != nil {
-		log.Fatal(err)
-	}
 }
 
 func must(err error) {

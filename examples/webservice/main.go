@@ -19,35 +19,25 @@ import (
 )
 
 func main() {
-	in, err := apna.NewInternet(7)
+	// A three-AS line declared with the topology generator: the client
+	// sits in AS 10, the server in AS 12, AS 11 carries transit.
+	in, err := apna.New(7,
+		apna.WithLine(10, 3, 15*time.Millisecond),
+		apna.WithHosts(12, "server"),
+		apna.WithHosts(10, "client"))
 	if err != nil {
 		log.Fatal(err)
 	}
-	for _, aid := range []apna.AID{10, 20, 30} {
-		if _, err := in.AddAS(aid); err != nil {
-			log.Fatal(err)
-		}
-	}
-	must(in.Connect(10, 20, 15*time.Millisecond))
-	must(in.Connect(20, 30, 15*time.Millisecond))
-	must(in.Build())
-
-	server, err := in.AddHost(30, "server")
-	if err != nil {
-		log.Fatal(err)
-	}
-	client, err := in.AddHost(10, "client")
-	if err != nil {
-		log.Fatal(err)
-	}
+	server, client := in.Host("server"), in.Host("client")
 
 	// The server acquires a long-lived receive-only EphID for DNS and
-	// a pool of serving EphIDs, then publishes the name.
-	recvOnly, err := server.NewEphID(ephid.KindReceiveOnly, 24*3600)
+	// a serving EphID — both issuance exchanges overlap — and then
+	// publishes the name.
+	pRecv := server.NewEphIDAsync(ephid.KindReceiveOnly, 24*3600)
+	pServe := server.NewEphIDAsync(ephid.KindData, 3600)
+	must(in.AwaitAll(pRecv, pServe))
+	recvOnly, err := pRecv.Result()
 	if err != nil {
-		log.Fatal(err)
-	}
-	if _, err := server.NewEphID(ephid.KindData, 3600); err != nil {
 		log.Fatal(err)
 	}
 	must(server.Publish("shop.example", &recvOnly.Cert))
@@ -63,7 +53,14 @@ func main() {
 
 	// Client: resolve, then connect with 0-RTT data riding on the
 	// very first packet.
-	idDNS, err := client.NewEphID(ephid.KindData, 900)
+	pDNS := client.NewEphIDAsync(ephid.KindData, 900)
+	pConn := client.NewEphIDAsync(ephid.KindData, 900)
+	must(in.AwaitAll(pDNS, pConn))
+	idDNS, err := pDNS.Result()
+	if err != nil {
+		log.Fatal(err)
+	}
+	idConn, err := pConn.Result()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -72,11 +69,6 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("resolved shop.example (kind=%v)\n", resolved.Kind)
-
-	idConn, err := client.NewEphID(ephid.KindData, 900)
-	if err != nil {
-		log.Fatal(err)
-	}
 	conn, err := client.Connect(idConn, resolved, []byte("GET /catalog (0-RTT)"))
 	if err != nil {
 		log.Fatal(err)

@@ -90,6 +90,36 @@ func TestIntraASCommunication(t *testing.T) {
 	}
 }
 
+// TestShutoffSurvivesUserRawHandler: the facade's shutoff-ack
+// dispatcher rides an additive raw listener, so an application
+// registering its own ProtoShutoff handler observes the acks without
+// breaking Host.Shutoff.
+func TestShutoffSurvivesUserRawHandler(t *testing.T) {
+	w := newWorld(t)
+	idA := w.ephID(t, w.alice)
+	idC := w.ephID(t, w.carol)
+	conn, err := w.alice.Connect(idA, &idC.Cert, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.alice.Send(conn, []byte("flood")); err != nil {
+		t.Fatal(err)
+	}
+	msgs := w.carol.Stack.Inbox()
+
+	observed := 0
+	w.carol.Stack.RegisterRawHandler(wire.ProtoShutoff, func(_ *wire.Header, payload []byte) {
+		observed++
+	})
+	ok, err := w.carol.Shutoff(msgs[0])
+	if err != nil || !ok {
+		t.Fatalf("shutoff with user raw handler installed: %v %v", ok, err)
+	}
+	if observed != 1 {
+		t.Errorf("user handler observed %d acks, want 1", observed)
+	}
+}
+
 // TestServiceEndpointsAccessor covers the diagnostics accessor.
 func TestServiceEndpointsAccessor(t *testing.T) {
 	w := newWorld(t)

@@ -1,0 +1,3 @@
+module apna
+
+go 1.24

@@ -1,6 +1,7 @@
 package apna
 
 import (
+	"errors"
 	"fmt"
 
 	"apna/internal/cert"
@@ -12,9 +13,12 @@ import (
 	"apna/internal/wire"
 )
 
-// Host is a bootstrapped end host attached to an AS. It wraps the
-// protocol stack (internal/host) with synchronous conveniences that
-// drive the simulator until the requested operation completes.
+// Host is a bootstrapped end host attached to an AS. Every protocol
+// operation exists in two forms: a non-blocking *Async method returning
+// a Pending future, and a blocking convenience that initiates the
+// operation and drives the simulator until it resolves. The blocking
+// forms are thin Await wrappers over the async core, so mixing them
+// with concurrent scenarios is safe.
 type Host struct {
 	// Name is the subscriber name used at authentication.
 	Name string
@@ -25,15 +29,37 @@ type Host struct {
 	hid  HID
 	link *netsim.Link
 
-	shutoffAcks []byte
+	// shutoffs are in-flight shutoff requests keyed by the agent they
+	// address, resolved FIFO per agent (the request channel to each AA
+	// is ordered in the simulator; acknowledgments from *different*
+	// agents may arrive in any order).
+	shutoffs map[Endpoint][]*Pending[bool]
+	// pings are in-flight echo requests keyed by destination and
+	// sequence number, so replies resolve the probe that addressed
+	// them and not another destination's probe sharing the seq.
+	pings map[pingKey][]*Pending[bool]
+	// resolves marks local EphIDs with a DNS query in flight: a flow is
+	// (local EphID, peer), so a second resolve on the same EphID would
+	// collide with the first.
+	resolves map[EphID]bool
+}
+
+// pingKey identifies an in-flight echo probe.
+type pingKey struct {
+	dst Endpoint
+	seq uint16
 }
 
 // AddHost registers a subscriber with the AS, bootstraps it (Figure 2),
-// and attaches its stack to the border router.
+// and attaches its stack to the border router. Host names are the
+// facade's handles: they must be unique within the internet.
 func (in *Internet) AddHost(aid AID, name string) (*Host, error) {
 	as, ok := in.ases[aid]
 	if !ok {
 		return nil, fmt.Errorf("%w: %v", ErrUnknownAS, aid)
+	}
+	if _, dup := in.hosts[name]; dup {
+		return nil, fmt.Errorf("%w: %q", ErrDuplicateHost, name)
 	}
 	// Provision a credential — the facade plays the subscription
 	// office.
@@ -74,17 +100,38 @@ func (in *Internet) AddHost(aid AID, name string) (*Host, error) {
 		return nil, err
 	}
 
-	h := &Host{Name: name, Stack: stack, as: as, hid: boot.HID}
+	h := &Host{Name: name, Stack: stack, as: as, hid: boot.HID,
+		shutoffs: make(map[Endpoint][]*Pending[bool]),
+		pings:    make(map[pingKey][]*Pending[bool]),
+		resolves: make(map[EphID]bool)}
 	h.link = in.Sim.NewLink("host-"+name, in.opts.HostLinkLatency, 0)
 	as.Router.AttachHost(boot.HID, h.link.A())
 	stack.Attach(h.link.B())
 
-	// Surface shutoff acknowledgments.
-	stack.RegisterRawHandler(wire.ProtoShutoff, func(_ *wire.Header, payload []byte) {
-		if len(payload) == 1 {
-			h.shutoffAcks = append(h.shutoffAcks, payload[0])
+	// Resolve shutoff futures from agent acknowledgments, FIFO per
+	// answering agent. The additive listener survives application
+	// RegisterRawHandler calls for ProtoShutoff.
+	stack.AddRawListener(wire.ProtoShutoff, func(hdr *wire.Header, payload []byte) {
+		if len(payload) != 1 {
+			return
+		}
+		agent := Endpoint{AID: hdr.SrcAID, EphID: hdr.SrcEphID}
+		if p := queuePop(h.shutoffs, agent); p != nil {
+			p.complete(payload[0] == 1, nil)
 		}
 	})
+	// Dispatch echo replies to the ping future(s) addressed to the
+	// replying endpoint, so overlapping pings — even ones sharing a
+	// sequence number toward different destinations — resolve
+	// independently. The additive listener keeps user OnEchoReply
+	// callbacks from displacing the dispatcher (and vice versa).
+	stack.AddEchoListener(func(from wire.Endpoint, seq uint16) {
+		if p := queuePop(h.pings, pingKey{dst: from, seq: seq}); p != nil {
+			p.complete(true, nil)
+		}
+	})
+
+	in.hosts[name] = h
 	return h, nil
 }
 
@@ -94,50 +141,77 @@ func (h *Host) AS() *AS { return h.as }
 // HID returns the host's identifier within its AS.
 func (h *Host) HID() HID { return h.hid }
 
-// NewEphID synchronously requests a fresh EphID from the AS's MS
-// (Figure 3), driving the simulator until the reply arrives.
-func (h *Host) NewEphID(kind ephid.Kind, lifetime uint32) (*host.OwnedEphID, error) {
-	var (
-		got  *host.OwnedEphID
-		fail error
-		done bool
-	)
+// NewEphIDAsync requests a fresh EphID from the AS's MS (Figure 3)
+// without driving the simulator; the future resolves when the encrypted
+// reply arrives.
+func (h *Host) NewEphIDAsync(kind ephid.Kind, lifetime uint32) *Pending[*host.OwnedEphID] {
+	p := newPending[*host.OwnedEphID]()
 	err := h.Stack.RequestEphID(kind, lifetime, func(o *host.OwnedEphID, err error) {
-		got, fail, done = o, err, true
+		p.complete(o, err)
 	})
 	if err != nil {
-		return nil, err
+		return failedPending[*host.OwnedEphID](err)
 	}
-	h.as.in.RunUntilIdle()
-	if !done {
-		return nil, ErrTimeout
-	}
-	return got, fail
+	return p
 }
 
-// Connect synchronously establishes a connection to a peer certificate
-// (Section IV-D1). data0RTT, if non-nil, rides in the first packet
+// NewEphID synchronously requests a fresh EphID, driving the simulator
+// until the reply arrives.
+func (h *Host) NewEphID(kind ephid.Kind, lifetime uint32) (*host.OwnedEphID, error) {
+	return AwaitResult(h.as.in, h.NewEphIDAsync(kind, lifetime))
+}
+
+// ConnectAsync initiates a connection to a peer certificate
+// (Section IV-D1) without driving the simulator; the future resolves
+// with the established connection when the handshake acknowledgment
+// arrives. data0RTT, if non-nil, rides in the first packet
 // (Section VII-C).
-func (h *Host) Connect(local *host.OwnedEphID, peerCert *cert.Cert, data0RTT []byte) (*host.Conn, error) {
-	conn, err := h.Stack.Dial(local, peerCert, host.DialOptions{Data0RTT: data0RTT})
+func (h *Host) ConnectAsync(local *host.OwnedEphID, peerCert *cert.Cert, data0RTT []byte) *Pending[*host.Conn] {
+	p := newPending[*host.Conn]()
+	conn, err := h.Stack.Dial(local, peerCert, host.DialOptions{
+		Data0RTT:    data0RTT,
+		OnEstablish: func(c *host.Conn) { p.complete(c, nil) },
+	})
 	if err != nil {
-		return nil, err
+		return failedPending[*host.Conn](err)
 	}
-	h.as.in.RunUntilIdle()
-	if !conn.Established() {
-		return nil, ErrTimeout
+	// An unacknowledged dial must not linger once the timeline drains:
+	// its record would claim the ack of a later dial from this EphID.
+	p.onIdleAbandon = func() { h.Stack.AbortDial(conn) }
+	h.as.in.registerLive(p)
+	return p
+}
+
+// Connect synchronously establishes a connection, driving the simulator
+// until the handshake completes.
+func (h *Host) Connect(local *host.OwnedEphID, peerCert *cert.Cert, data0RTT []byte) (*host.Conn, error) {
+	return AwaitResult(h.as.in, h.ConnectAsync(local, peerCert, data0RTT))
+}
+
+// SendAsync transmits application data on a connection (queueing it
+// until establishment if necessary) without driving the simulator. The
+// returned future is idle-resolved: it completes when an Await drains
+// the timeline, i.e. when the network has fully processed the
+// transmission. Under AwaitWithin, a send settles only if the timeline
+// actually quiesces by the deadline — unrelated traffic scheduled past
+// the deadline keeps it pending even if its own packets were long
+// delivered, so await sends with the unbounded drivers.
+func (h *Host) SendAsync(conn *host.Conn, data []byte) *Pending[struct{}] {
+	if err := conn.Send(data); err != nil {
+		return failedPending[struct{}](err)
 	}
-	return conn, nil
+	p := idlePending(struct{}{})
+	// Register so RunUntilIdle/RunFor settle the send at quiescence
+	// just like an Await would.
+	h.as.in.registerLive(p)
+	return p
 }
 
 // Send transmits application data on an established connection and runs
 // the simulator until delivery.
 func (h *Host) Send(conn *host.Conn, data []byte) error {
-	if err := conn.Send(data); err != nil {
-		return err
-	}
-	h.as.in.RunUntilIdle()
-	return nil
+	_, err := AwaitResult(h.as.in, h.SendAsync(conn, data))
+	return err
 }
 
 // Publish registers name -> certificate in the shared zone, as a server
@@ -147,64 +221,126 @@ func (h *Host) Publish(name string, c *cert.Cert) error {
 	return err
 }
 
-// Resolve queries the AS's DNS service for a name over an encrypted
-// session and verifies the returned record against the zone key. The
-// returned certificate is additionally verified against its issuing
+// ResolveAsync initiates a DNS query for name over an encrypted session
+// with the AS's DNS service, without driving the simulator. The future
+// resolves with the verified certificate when the response arrives on
+// the query's flow; responses are verified against the zone key, and
+// the returned certificate is additionally verified against its issuing
 // AS's key before use by Connect.
-func (h *Host) Resolve(local *host.OwnedEphID, name string) (*cert.Cert, error) {
-	dnsCert := h.Stack.Config().DNSCert
-	conn, err := h.Connect(local, &dnsCert, nil)
-	if err != nil {
-		return nil, fmt.Errorf("apna: dialing DNS: %w", err)
+func (h *Host) ResolveAsync(local *host.OwnedEphID, name string) *Pending[*cert.Cert] {
+	// A flow is (local EphID, peer): a second resolve on the same EphID
+	// would collide with the in-flight one's session and tap. Per-flow
+	// granularity means concurrent queries use fresh EphIDs.
+	if h.resolves[local.Cert.EphID] {
+		return failedPending[*cert.Cert](fmt.Errorf(
+			"apna: resolve already in flight on EphID %v; use a fresh per-flow EphID", local.Cert.EphID))
 	}
 	q, err := dns.EncodeQuery(name)
 	if err != nil {
-		return nil, err
+		return failedPending[*cert.Cert](err)
 	}
-	if err := h.Send(conn, q); err != nil {
-		return nil, err
+	p := newPending[*cert.Cert]()
+	dnsCert := h.Stack.Config().DNSCert
+	conn, err := h.Stack.Dial(local, &dnsCert, host.DialOptions{
+		OnEstablish: func(c *host.Conn) {
+			// The query (queued below) is flushed before this fires;
+			// the tap is in place one RTT before the response.
+			h.Stack.TapFlow(local.Cert.EphID, c.Peer(), func(m host.Message) bool {
+				delete(h.resolves, local.Cert.EphID)
+				status, rec, err := dns.DecodeResponse(m.Payload)
+				switch {
+				case err != nil:
+					p.complete(nil, err)
+				case status != dns.StatusOK:
+					p.complete(nil, dns.ErrNXDomain)
+				case rec.Name != name:
+					p.complete(nil, fmt.Errorf("apna: DNS answered %q for query %q", rec.Name, name))
+				default:
+					if err := rec.Verify(h.as.in.Zone.PublicKey(), h.as.in.Sim.NowUnix()); err != nil {
+						p.complete(nil, err)
+					} else {
+						p.complete(&rec.Cert, nil)
+					}
+				}
+				return false
+			})
+		},
+	})
+	if err != nil {
+		return failedPending[*cert.Cert](fmt.Errorf("apna: dialing DNS: %w", err))
 	}
-	for _, m := range h.Stack.Inbox() {
-		status, rec, err := dns.DecodeResponse(m.Payload)
-		if err != nil {
-			continue
-		}
-		if status != dns.StatusOK {
-			return nil, dns.ErrNXDomain
-		}
-		if err := rec.Verify(h.as.in.Zone.PublicKey(), h.as.in.Sim.NowUnix()); err != nil {
-			return nil, err
-		}
-		return &rec.Cert, nil
+	if err := conn.Send(q); err != nil {
+		return failedPending[*cert.Cert](err)
 	}
-	return nil, ErrTimeout
+	h.resolves[local.Cert.EphID] = true
+	p.onIdleAbandon = func() {
+		delete(h.resolves, local.Cert.EphID)
+		// Tear down whatever the dead exchange left behind: the dial
+		// record if the handshake never completed, and the response tap
+		// if it did — either could swallow a later exchange's traffic
+		// on this flow.
+		h.Stack.AbortDial(conn)
+		h.Stack.Untap(local.Cert.EphID, conn.Peer())
+	}
+	h.as.in.registerLive(p)
+	return p
 }
 
-// Shutoff sends a shutoff request for the flow that delivered m and
-// returns the agent's acknowledgment status (true = revoked).
+// Resolve synchronously queries the AS's DNS service for a name,
+// driving the simulator until the verified response arrives.
+func (h *Host) Resolve(local *host.OwnedEphID, name string) (*cert.Cert, error) {
+	return AwaitResult(h.as.in, h.ResolveAsync(local, name))
+}
+
+// ShutoffAsync sends a shutoff request for the flow that delivered m
+// without driving the simulator; the future resolves with the agent's
+// acknowledgment status (true = revoked).
+func (h *Host) ShutoffAsync(m host.Message) *Pending[bool] {
+	// The request goes to the agent named in the offender's
+	// certificate; queue the future under that agent so concurrent
+	// shutoffs toward different ASes resolve independently.
+	agent, err := h.Stack.RequestShutoff(m)
+	if err != nil {
+		return failedPending[bool](err)
+	}
+	p := newPending[bool]()
+	h.shutoffs[agent] = append(h.shutoffs[agent], p)
+	// If the timeline drains without an ack (request dropped en route),
+	// deregister so the stale entry cannot shift later acks off by one.
+	p.onIdleAbandon = func() { queueRemove(h.shutoffs, agent, p) }
+	h.as.in.registerLive(p)
+	return p
+}
+
+// Shutoff synchronously requests a shutoff and returns the agent's
+// acknowledgment status (true = revoked).
 func (h *Host) Shutoff(m host.Message) (bool, error) {
-	before := len(h.shutoffAcks)
-	if err := h.Stack.RequestShutoff(m); err != nil {
-		return false, err
+	return AwaitResult(h.as.in, h.ShutoffAsync(m))
+}
+
+// PingAsync sends an ICMP echo without driving the simulator; the
+// future resolves true when the matching reply arrives. Pings that
+// never come back stay pending and surface as ErrTimeout from Await.
+func (h *Host) PingAsync(dst Endpoint, seq uint16) *Pending[bool] {
+	p := newPending[bool]()
+	key := pingKey{dst: dst, seq: seq}
+	h.pings[key] = append(h.pings[key], p)
+	if err := h.Stack.Ping(dst, seq); err != nil {
+		queueRemove(h.pings, key, p)
+		return failedPending[bool](err)
 	}
-	h.as.in.RunUntilIdle()
-	if len(h.shutoffAcks) == before {
-		return false, ErrTimeout
-	}
-	return h.shutoffAcks[len(h.shutoffAcks)-1] == 1, nil
+	// A lost probe must not linger: it would steal the reply of a later
+	// ping reusing this key.
+	p.onIdleAbandon = func() { queueRemove(h.pings, key, p) }
+	h.as.in.registerLive(p)
+	return p
 }
 
 // Ping sends an ICMP echo and reports whether the reply arrived.
 func (h *Host) Ping(dst Endpoint, seq uint16) (bool, error) {
-	replied := false
-	h.Stack.OnEchoReply(func(s uint16) {
-		if s == seq {
-			replied = true
-		}
-	})
-	if err := h.Stack.Ping(dst, seq); err != nil {
-		return false, err
+	replied, err := AwaitResult(h.as.in, h.PingAsync(dst, seq))
+	if errors.Is(err, ErrTimeout) {
+		return false, nil // the probe died in the network: not an error
 	}
-	h.as.in.RunUntilIdle()
-	return replied, nil
+	return replied, err
 }

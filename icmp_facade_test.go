@@ -49,6 +49,94 @@ func TestICMPDestUnreachableOnExpiredEphID(t *testing.T) {
 	}
 }
 
+// TestICMPErrorDeliveredAcrossInterASLink pins the remote-AS branch of
+// sendICMPError: when the drop happens at a *foreign* AS, the error is
+// a regular APNA packet from that AS's router identity, forwarded back
+// across the inter-AS links — not the local DeliverToHost fast path.
+func TestICMPErrorDeliveredAcrossInterASLink(t *testing.T) {
+	w := newWorld(t)
+	idA := w.ephID(t, w.alice)
+
+	errs := 0
+	w.alice.Stack.OnICMPError(func(typ, code uint8, _ []byte) {
+		errs++
+		if typ != uint8(icmp.TypeDestUnreachable) || code != icmp.CodeEphIDExpired {
+			t.Errorf("got type %d code %d", typ, code)
+		}
+	})
+
+	transitBefore := w.in.AS(200).Router.Stats().Transited.Load()
+	rtrSentBefore := w.in.AS(300).rtrHost.Stats().Sent
+
+	// A destination EphID at AS 300 that is already expired: the drop
+	// verdict is rendered by AS 300's ingress, two links away from
+	// alice.
+	expired := w.in.AS(300).Sealer().Mint(ephid.Payload{
+		HID:     w.carol.HID(),
+		ExpTime: uint32(w.in.Now() - 10),
+	})
+	if err := w.alice.Stack.SendRaw(wire.ProtoSession, 0, idA.Cert.EphID,
+		Endpoint{AID: 300, EphID: expired}, []byte("doomed")); err != nil {
+		t.Fatal(err)
+	}
+	w.in.RunUntilIdle()
+
+	if errs != 1 {
+		t.Fatalf("ICMP errors received: %d", errs)
+	}
+	// The error left AS 300 through its router host's stack (the remote
+	// branch), not via the local DeliverToHost shortcut.
+	if got := w.in.AS(300).rtrHost.Stats().Sent - rtrSentBefore; got != 1 {
+		t.Errorf("AS300 router host sent %d packets, want 1", got)
+	}
+	// Both the doomed packet and the returning error transited AS 200.
+	if got := w.in.AS(200).Router.Stats().Transited.Load() - transitBefore; got != 2 {
+		t.Errorf("AS200 transited %d packets, want 2 (probe + error)", got)
+	}
+}
+
+// TestICMPRevokedFeedbackUsesLocalFastPath pins the counterpart local
+// branch: feedback about a packet dropped at the source's own AS is
+// delivered directly to the host, bypassing the ingress checks that
+// would discard it (the revocation that triggered the error would also
+// block the error).
+func TestICMPRevokedFeedbackUsesLocalFastPath(t *testing.T) {
+	w := newWorld(t)
+	idA := w.ephID(t, w.alice)
+	idC := w.ephID(t, w.carol)
+	conn, err := w.alice.Connect(idA, &idC.Cert, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.alice.Send(conn, []byte("flood")); err != nil {
+		t.Fatal(err)
+	}
+	msgs := w.carol.Stack.Inbox()
+	if ok, err := w.carol.Shutoff(msgs[0]); err != nil || !ok {
+		t.Fatalf("shutoff: %v %v", ok, err)
+	}
+
+	rtrSentBefore := w.in.AS(100).rtrHost.Stats().Sent
+	errs := 0
+	w.alice.Stack.OnICMPError(func(_, code uint8, _ []byte) {
+		errs++
+		if code != icmp.CodeEphIDRevoked {
+			t.Errorf("code = %d", code)
+		}
+	})
+	if err := w.alice.Send(conn, []byte("again")); err != nil {
+		t.Fatal(err)
+	}
+	if errs != 1 {
+		t.Fatalf("ICMP errors: %d", errs)
+	}
+	// Local fast path: the router host's stack never transmitted — the
+	// frame went straight to alice's port.
+	if got := w.in.AS(100).rtrHost.Stats().Sent - rtrSentBefore; got != 0 {
+		t.Errorf("AS100 router host sent %d packets, want 0 (DeliverToHost)", got)
+	}
+}
+
 // TestICMPNoFeedbackForSpoofedPackets: drops whose source cannot be
 // authenticated (bad MAC) must not generate ICMP — feedback to a forged
 // source would be a reflection primitive.

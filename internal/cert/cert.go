@@ -10,7 +10,7 @@
 //
 // The paper uses a single Curve25519 key pair per EphID for both ECDH
 // and ed25519 signatures; the two operations need different key forms,
-// so this implementation binds one key of each type (see DESIGN.md §4).
+// so this implementation binds one key of each type (see DESIGN.md §5).
 package cert
 
 import (

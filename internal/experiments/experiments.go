@@ -1,7 +1,8 @@
 // Package experiments implements the reproduction harness: one function
-// per table/figure of the paper's evaluation (Section V) plus the
-// latency analysis of Section VII-C. The cmd/apna-bench binary and
-// EXPERIMENTS.md are thin wrappers around this package.
+// per table/figure of the paper's evaluation (Section V), the latency
+// analysis of Section VII-C, and the concurrent multi-flow scenario
+// (E6). The cmd/apna-bench and cmd/apna-scenario binaries are thin
+// wrappers around this package.
 package experiments
 
 import (

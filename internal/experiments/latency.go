@@ -55,30 +55,15 @@ func runE5Mode(mode string, oneWay time.Duration) (*E5Result, error) {
 	// paper's abstract accounting.
 	opts.HostLinkLatency = 0
 	opts.ServiceLinkLatency = 0
-	in, err := apna.NewInternetWithOptions(1, opts)
+	in, err := apna.New(1,
+		apna.WithOptions(opts),
+		apna.WithAS(1, "initiator"),
+		apna.WithAS(2, "responder"),
+		apna.WithLink(1, 2, oneWay))
 	if err != nil {
 		return nil, err
 	}
-	if _, err := in.AddAS(1); err != nil {
-		return nil, err
-	}
-	if _, err := in.AddAS(2); err != nil {
-		return nil, err
-	}
-	if err := in.Connect(1, 2, oneWay); err != nil {
-		return nil, err
-	}
-	if err := in.Build(); err != nil {
-		return nil, err
-	}
-	a, err := in.AddHost(1, "initiator")
-	if err != nil {
-		return nil, err
-	}
-	b, err := in.AddHost(2, "responder")
-	if err != nil {
-		return nil, err
-	}
+	a, b := in.Host("initiator"), in.Host("responder")
 
 	idA, err := a.NewEphID(ephid.KindData, 3600)
 	if err != nil {

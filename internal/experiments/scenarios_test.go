@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRunE6ConcurrentScenario(t *testing.T) {
+	cfg := ScenarioConfig{
+		ASes: 3, HostsPerAS: 3, FlowsPerHost: 2, MessagesPerFlow: 3,
+		Shutoffs: 2, LinkLatency: 5 * time.Millisecond, Seed: 1,
+	}
+	res, err := RunE6(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Hosts != 9 {
+		t.Errorf("Hosts = %d", res.Hosts)
+	}
+	if res.Connections != 18 {
+		t.Errorf("Connections = %d", res.Connections)
+	}
+	if res.MessagesSent != 54 {
+		t.Errorf("MessagesSent = %d", res.MessagesSent)
+	}
+	if res.ShutoffsFiled != 2 || res.ShutoffsAccepted != 2 {
+		t.Errorf("shutoffs filed/accepted = %d/%d", res.ShutoffsFiled, res.ShutoffsAccepted)
+	}
+	// The two revoked flows lose their post-revocation waves; everything
+	// else is delivered.
+	if res.MessagesDelivered >= res.MessagesSent {
+		t.Errorf("revoked flows still delivered: %d/%d", res.MessagesDelivered, res.MessagesSent)
+	}
+	if res.MessagesDelivered < res.MessagesSent-2*(cfg.MessagesPerFlow-1) {
+		t.Errorf("too few deliveries: %d/%d", res.MessagesDelivered, res.MessagesSent)
+	}
+	if res.VirtualElapsed <= 0 || res.Events == 0 {
+		t.Errorf("timeline did not run: %v, %d events", res.VirtualElapsed, res.Events)
+	}
+
+	var sb strings.Builder
+	res.Fprint(&sb)
+	for _, want := range []string{"E6:", "overlapping handshakes", "shutoffs"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("report missing %q:\n%s", want, sb.String())
+		}
+	}
+}
+
+func TestRunE6Deterministic(t *testing.T) {
+	cfg := DefaultScenario()
+	cfg.ASes, cfg.HostsPerAS, cfg.MessagesPerFlow = 2, 2, 2
+	a, err := RunE6(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunE6(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Events != b.Events || a.VirtualElapsed != b.VirtualElapsed ||
+		a.MessagesDelivered != b.MessagesDelivered {
+		t.Errorf("same seed diverged: %+v vs %+v", a, b)
+	}
+}
+
+func TestRunE6RejectsBadConfig(t *testing.T) {
+	if _, err := RunE6(ScenarioConfig{ASes: 1, HostsPerAS: 1, FlowsPerHost: 1}); err == nil {
+		t.Error("single-AS scenario accepted")
+	}
+}

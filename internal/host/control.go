@@ -44,6 +44,10 @@ func (h *Host) handleICMP(hdr *wire.Header, payload []byte) {
 		if h.onEcho != nil {
 			h.onEcho(m.Seq)
 		}
+		from := wire.Endpoint{AID: hdr.SrcAID, EphID: hdr.SrcEphID}
+		for _, fn := range h.echoListeners {
+			fn(from, m.Seq)
+		}
 	default:
 		if h.onICMPError != nil {
 			h.onICMPError(uint8(m.Type), m.Code, m.Body)
@@ -66,24 +70,27 @@ func (h *Host) PeerCert(local wire.Endpoint, peer wire.Endpoint) (*cert.Cert, er
 // delivered m: the evidence is the raw offending frame, signed with the
 // private key of the local (recipient) EphID, addressed to the
 // accountability agent named in the sender's certificate (Figure 5).
-func (h *Host) RequestShutoff(m Message) error {
+// It returns the agent endpoint the request was sent to, so callers
+// matching acknowledgments back to requests key by the same endpoint
+// the routing used.
+func (h *Host) RequestShutoff(m Message) (wire.Endpoint, error) {
 	key := sessKey{local: m.Flow.Dst.EphID, peer: m.Flow.Src}
 	peerCert, ok := h.peerCerts[key]
 	if !ok {
-		return ErrNoPeerCert
+		return wire.Endpoint{}, ErrNoPeerCert
 	}
 	local, ok := h.pool[m.Flow.Dst.EphID]
 	if !ok {
-		return ErrNoEphID
+		return wire.Endpoint{}, ErrNoEphID
 	}
 	if len(m.Raw) == 0 {
-		return fmt.Errorf("host: message carries no evidence frame")
+		return wire.Endpoint{}, fmt.Errorf("host: message carries no evidence frame")
 	}
 	req := aa.BuildRequest(m.Raw, &local.Cert, local.Sig)
 	payload, err := req.Encode()
 	if err != nil {
-		return err
+		return wire.Endpoint{}, err
 	}
 	agent := wire.Endpoint{AID: peerCert.AID, EphID: peerCert.AAEphID}
-	return h.send(wire.ProtoShutoff, 0, local.Cert.EphID, agent, payload)
+	return agent, h.send(wire.ProtoShutoff, 0, local.Cert.EphID, agent, payload)
 }

@@ -67,8 +67,16 @@ func (h *Host) handleSession(hdr *wire.Header, payload []byte, frame []byte) {
 	})
 }
 
-// deliver hands a message to the application.
+// deliver hands a message to the application: flow taps first, then the
+// global callback, then the inbox.
 func (h *Host) deliver(m Message) {
+	key := sessKey{local: m.Flow.Dst.EphID, peer: m.Flow.Src}
+	if tap, ok := h.flowTaps[key]; ok {
+		if !tap(m) {
+			delete(h.flowTaps, key)
+		}
+		return
+	}
 	if h.onMessage != nil {
 		h.onMessage(m)
 		return

@@ -83,7 +83,8 @@ func (c *Conn) Peer() wire.Endpoint { return c.peer }
 // Established reports whether the handshake acknowledgment arrived.
 func (c *Conn) Established() bool { return c.established }
 
-// dialState tracks an in-flight dial, keyed by the local EphID.
+// dialState tracks an in-flight dial. Dials are kept per local EphID;
+// acknowledgments are matched back by the dialed EphID each ack echoes.
 type dialState struct {
 	conn *Conn
 }
@@ -116,15 +117,17 @@ func (h *Host) Dial(local *OwnedEphID, peerCert *cert.Cert, opts DialOptions) (*
 	h.peerCerts[key] = peerCert
 
 	conn := &Conn{h: h, local: local, peer: peer, onEstablish: opts.OnEstablish}
-	h.dials[local.Cert.EphID] = &dialState{conn: conn}
 
 	msg := handshakeMsg{cert: local.Cert}
 	flags := uint8(0)
-	if len(opts.Data0RTT) > 0 {
+	zeroRTT := len(opts.Data0RTT) > 0
+	var nonce uint64
+	if zeroRTT {
 		// Encrypt 0-RTT data under the session with the dialed EphID.
 		h.nonce++ // reserve the nonce the packet will carry
+		nonce = h.nonce
 		hdr := wire.Header{
-			Nonce:  h.nonce,
+			Nonce:  nonce,
 			SrcAID: h.cfg.AID, DstAID: peer.AID,
 			SrcEphID: local.Cert.EphID, DstEphID: peer.EphID,
 		}
@@ -134,18 +137,55 @@ func (h *Host) Dial(local *OwnedEphID, peerCert *cert.Cert, opts DialOptions) (*
 		}
 		msg.data = ct
 		flags |= wire.FlagZeroRTT
-		payload, err := msg.encode()
-		if err != nil {
-			return nil, err
-		}
-		// Send with the reserved nonce: bypass send()'s allocation.
-		return conn, h.sendWithNonce(wire.ProtoHandshake, flags, local.Cert.EphID, peer, payload, hdr.Nonce)
 	}
 	payload, err := msg.encode()
 	if err != nil {
 		return nil, err
 	}
-	return conn, h.send(wire.ProtoHandshake, flags, local.Cert.EphID, peer, payload)
+	if zeroRTT {
+		// Send with the reserved nonce: bypass send()'s allocation.
+		err = h.sendWithNonce(wire.ProtoHandshake, flags, local.Cert.EphID, peer, payload, nonce)
+	} else {
+		err = h.send(wire.ProtoHandshake, flags, local.Cert.EphID, peer, payload)
+	}
+	if err != nil {
+		return nil, err
+	}
+	// Record the in-flight dial only once the handshake actually left:
+	// a failed send must not leave a record that would claim a later
+	// dial's acknowledgment.
+	h.dials[local.Cert.EphID] = append(h.dials[local.Cert.EphID], &dialState{conn: conn})
+	return conn, nil
+}
+
+// AbortDial tears down conn's in-flight dial, if still pending — the
+// cleanup path for dials abandoned before their acknowledgment
+// arrived: the dial record (which would otherwise claim a later dial's
+// ack) and the speculative session state Dial created. Established
+// connections are untouched.
+func (h *Host) AbortDial(conn *Conn) {
+	local := conn.local.Cert.EphID
+	list := h.dials[local]
+	removed := false
+	for i, ds := range list {
+		if ds.conn == conn {
+			list = append(list[:i], list[i+1:]...)
+			removed = true
+			break
+		}
+	}
+	if !removed {
+		return // already established (or never recorded): nothing to undo
+	}
+	if len(list) == 0 {
+		delete(h.dials, local)
+	} else {
+		h.dials[local] = list
+	}
+	key := sessKey{local: local, peer: conn.peer}
+	delete(h.sessions, key)
+	delete(h.peerCerts, key)
+	delete(h.lastFrame, key)
 }
 
 // sendWithNonce is send() with a caller-chosen nonce (already allocated
@@ -257,7 +297,10 @@ func (h *Host) handleHandshake(hdr *wire.Header, payload []byte, frame []byte) {
 		}
 	}
 
-	ack := handshakeMsg{flags: hsFlagAck, cert: serving.Cert}
+	// The ack echoes the EphID the initiator dialed, so an initiator
+	// with several dials in flight can correlate exactly even when the
+	// serving EphID differs from the dialed one (receive-only case).
+	ack := handshakeMsg{flags: hsFlagAck, cert: serving.Cert, data: hdr.DstEphID[:]}
 	ackPayload, err := ack.encode()
 	if err != nil {
 		return
@@ -268,15 +311,36 @@ func (h *Host) handleHandshake(hdr *wire.Header, payload []byte, frame []byte) {
 	}
 }
 
-// handleHandshakeAck completes the initiator side.
+// handleHandshakeAck completes the initiator side. The ack's echoed
+// dialed EphID names the dial it answers exactly — for direct dials it
+// equals the serving EphID, for migrated (receive-only) dials it is the
+// published EphID the initiator addressed — so there is a single
+// matching rule and never a guess. Acks without the echo, or whose
+// echo matches no in-flight dial (already abandoned), are dropped.
 func (h *Host) handleHandshakeAck(hdr *wire.Header, msg *handshakeMsg) {
-	ds, ok := h.dials[hdr.DstEphID]
-	if !ok {
+	if len(msg.data) != ephid.Size {
 		h.stats.DropBadHandshake++
 		return
 	}
-	conn := ds.conn
+	var dialed ephid.EphID
+	copy(dialed[:], msg.data)
 	serving := wire.Endpoint{AID: hdr.SrcAID, EphID: hdr.SrcEphID}
+	want := wire.Endpoint{AID: serving.AID, EphID: dialed}
+
+	list := h.dials[hdr.DstEphID]
+	idx := -1
+	for i, ds := range list {
+		if ds.conn.peer == want {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		h.stats.DropBadHandshake++
+		return
+	}
+	ds := list[idx]
+	conn := ds.conn
 	if serving != conn.peer {
 		// The server migrated us to a serving EphID: derive the real
 		// session.
@@ -291,7 +355,11 @@ func (h *Host) handleHandshakeAck(hdr *wire.Header, msg *handshakeMsg) {
 		h.peerCerts[key] = &peerCert
 		conn.peer = serving
 	}
-	delete(h.dials, hdr.DstEphID)
+	if list = append(list[:idx], list[idx+1:]...); len(list) == 0 {
+		delete(h.dials, hdr.DstEphID)
+	} else {
+		h.dials[hdr.DstEphID] = list
+	}
 	conn.established = true
 	for _, data := range conn.queue {
 		_ = h.SendData(conn.local.Cert.EphID, conn.peer, data)

@@ -95,17 +95,21 @@ type Host struct {
 	peerCerts map[sessKey]*cert.Cert
 	lastFrame map[sessKey][]byte
 
+	echoListeners []func(wire.Endpoint, uint16)
+
 	pendingEphID []*pendingIssue
-	dials        map[ephid.EphID]*dialState
+	dials        map[ephid.EphID][]*dialState
 
 	nonce uint64
 
-	inbox       []Message
-	onMessage   func(Message)
-	onAccept    func(serving ephid.EphID, peer wire.Endpoint, addressed ephid.EphID)
-	onEcho      func(seq uint16)
-	onICMPError func(typ, code uint8, quoted []byte)
-	rawHandlers map[wire.NextProto]func(hdr *wire.Header, payload []byte)
+	inbox        []Message
+	flowTaps     map[sessKey]func(Message) bool
+	onMessage    func(Message)
+	onAccept     func(serving ephid.EphID, peer wire.Endpoint, addressed ephid.EphID)
+	onEcho       func(seq uint16)
+	onICMPError  func(typ, code uint8, quoted []byte)
+	rawHandlers  map[wire.NextProto]func(hdr *wire.Header, payload []byte)
+	rawListeners map[wire.NextProto][]func(hdr *wire.Header, payload []byte)
 
 	stats Stats
 }
@@ -133,14 +137,16 @@ func New(cfg Config) (*Host, error) {
 		return nil, err
 	}
 	return &Host{
-		cfg:         cfg,
-		mac:         mac,
-		pool:        make(map[ephid.EphID]*OwnedEphID),
-		sessions:    make(map[sessKey]*session.Session),
-		peerCerts:   make(map[sessKey]*cert.Cert),
-		lastFrame:   make(map[sessKey][]byte),
-		dials:       make(map[ephid.EphID]*dialState),
-		rawHandlers: make(map[wire.NextProto]func(*wire.Header, []byte)),
+		cfg:          cfg,
+		mac:          mac,
+		pool:         make(map[ephid.EphID]*OwnedEphID),
+		sessions:     make(map[sessKey]*session.Session),
+		peerCerts:    make(map[sessKey]*cert.Cert),
+		lastFrame:    make(map[sessKey][]byte),
+		dials:        make(map[ephid.EphID][]*dialState),
+		flowTaps:     make(map[sessKey]func(Message) bool),
+		rawHandlers:  make(map[wire.NextProto]func(*wire.Header, []byte)),
+		rawListeners: make(map[wire.NextProto][]func(*wire.Header, []byte)),
 	}, nil
 }
 
@@ -169,16 +175,54 @@ func (h *Host) OnAccept(fn func(serving ephid.EphID, peer wire.Endpoint, address
 	h.onAccept = fn
 }
 
-// OnEchoReply installs the ICMP echo reply callback.
+// OnEchoReply installs the ICMP echo reply callback, replacing any
+// previous one.
 func (h *Host) OnEchoReply(fn func(seq uint16)) { h.onEcho = fn }
+
+// AddEchoListener registers an additional echo reply listener that
+// coexists with the OnEchoReply callback and other listeners —
+// infrastructure (the facade's ping dispatcher) listens here so
+// application callbacks cannot displace it. from is the replying
+// endpoint (the EphID the request addressed), letting listeners match
+// replies to probes by destination, not just sequence number.
+func (h *Host) AddEchoListener(fn func(from wire.Endpoint, seq uint16)) {
+	h.echoListeners = append(h.echoListeners, fn)
+}
 
 // OnICMPError installs the ICMP error callback.
 func (h *Host) OnICMPError(fn func(typ, code uint8, quoted []byte)) { h.onICMPError = fn }
 
 // RegisterRawHandler overrides packet handling for a protocol number —
 // how AS services (MS, DNS, AA) mount their logic on a host stack.
+// Single slot: a later registration replaces the handler. Observers
+// that must survive application registrations use AddRawListener.
 func (h *Host) RegisterRawHandler(p wire.NextProto, fn func(hdr *wire.Header, payload []byte)) {
 	h.rawHandlers[p] = fn
+}
+
+// AddRawListener registers an additional observer for a protocol
+// number, invoked on every matching packet before the raw handler (or
+// default processing). Listeners coexist with handlers and each other —
+// infrastructure (the facade's shutoff-ack dispatcher) listens here so
+// application handlers cannot displace it.
+func (h *Host) AddRawListener(p wire.NextProto, fn func(hdr *wire.Header, payload []byte)) {
+	h.rawListeners[p] = append(h.rawListeners[p], fn)
+}
+
+// TapFlow intercepts messages arriving on one flow (local EphID, peer
+// endpoint) before they reach OnMessage or the inbox. The tap's return
+// value reports whether to keep it for further messages; returning
+// false removes it. Taps let concurrent request/response exchanges
+// (DNS, RPC-style services) consume their replies without draining
+// messages belonging to other flows.
+func (h *Host) TapFlow(local ephid.EphID, peer wire.Endpoint, fn func(Message) bool) {
+	h.flowTaps[sessKey{local: local, peer: peer}] = fn
+}
+
+// Untap removes a flow tap installed by TapFlow, if any — the cleanup
+// path for exchanges abandoned before their response arrived.
+func (h *Host) Untap(local ephid.EphID, peer wire.Endpoint) {
+	delete(h.flowTaps, sessKey{local: local, peer: peer})
 }
 
 // Inbox drains and returns queued messages.
@@ -239,6 +283,9 @@ func (h *Host) HandleFrame(frame []byte, _ *netsim.Port) {
 		return
 	}
 	h.stats.Received++
+	for _, fn := range h.rawListeners[pkt.Header.NextProto] {
+		fn(&pkt.Header, pkt.Payload)
+	}
 	if fn, ok := h.rawHandlers[pkt.Header.NextProto]; ok {
 		fn(&pkt.Header, pkt.Payload)
 		return

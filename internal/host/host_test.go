@@ -219,7 +219,7 @@ func TestPeerCertUnknownFlow(t *testing.T) {
 
 func TestRequestShutoffWithoutEvidence(t *testing.T) {
 	h := testHost(t)
-	err := h.RequestShutoff(Message{})
+	_, err := h.RequestShutoff(Message{})
 	if !errors.Is(err, ErrNoPeerCert) {
 		t.Errorf("err = %v", err)
 	}

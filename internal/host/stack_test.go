@@ -287,7 +287,7 @@ func TestStackShutoffRequestPath(t *testing.T) {
 	}
 	// B files a shutoff using the retained peer cert and raw frame; it
 	// leaves B's port without error (AA handling is tested in aa/).
-	if err := d.b.RequestShutoff(msgs[0]); err != nil {
+	if _, err := d.b.RequestShutoff(msgs[0]); err != nil {
 		t.Fatalf("RequestShutoff: %v", err)
 	}
 	sent := d.b.Stats().Sent

@@ -68,6 +68,16 @@ func (s *Simulator) Schedule(delay time.Duration, fn func()) {
 	heap.Push(&s.queue, &event{at: s.now + delay, seq: s.seq, fn: fn})
 }
 
+// PeekNext returns the timestamp of the earliest queued event, or false
+// if the queue is empty. Drivers that step the simulator toward a
+// deadline use it to stop before executing events past the deadline.
+func (s *Simulator) PeekNext() (time.Duration, bool) {
+	if s.queue.Len() == 0 {
+		return 0, false
+	}
+	return s.queue[0].at, true
+}
+
 // Step executes the single next event, returning false if the queue is
 // empty.
 func (s *Simulator) Step() bool {

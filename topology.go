@@ -1,0 +1,260 @@
+package apna
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Topology is a declarative description of an internet: ASes, inter-AS
+// links and hosts. It validates up front and builds in one shot,
+// replacing the imperative NewInternet → AddAS → Connect → Build →
+// AddHost sequence. Construct one with NewTopology and the chainable
+// methods, or — more commonly — through New with functional options:
+//
+//	in, err := apna.New(seed,
+//		apna.WithAS(100, "alice"),
+//		apna.WithAS(200, "bob", "carol"),
+//		apna.WithLink(100, 200, 20*time.Millisecond))
+//
+// Generators produce whole shapes at once: WithLine, WithStar and
+// WithFullMesh lay out N-AS line, star and full-mesh topologies.
+type Topology struct {
+	opts    Options
+	hasOpts bool
+	ases    []topoAS
+	links   []topoLink
+	errs    []error
+}
+
+type topoAS struct {
+	aid   AID
+	hosts []string
+}
+
+type topoLink struct {
+	a, b    AID
+	latency time.Duration
+}
+
+// ErrBadTopology wraps every topology validation failure.
+var ErrBadTopology = errors.New("apna: invalid topology")
+
+// TopologyOption mutates a Topology under construction.
+type TopologyOption func(*Topology)
+
+// New builds a ready internet from a declarative topology: every AS
+// stood up, links connected, routes computed, hosts bootstrapped.
+// Validation happens before any construction, so a bad topology costs
+// nothing.
+func New(seed int64, topo ...TopologyOption) (*Internet, error) {
+	t := NewTopology()
+	for _, o := range topo {
+		o(t)
+	}
+	return t.Build(seed)
+}
+
+// WithOptions sets the simulation options (latencies, strike limit, MS
+// policy).
+func WithOptions(o Options) TopologyOption {
+	return func(t *Topology) { t.Options(o) }
+}
+
+// WithAS adds an AS and, optionally, named hosts attached to it.
+func WithAS(aid AID, hosts ...string) TopologyOption {
+	return func(t *Topology) { t.AS(aid, hosts...) }
+}
+
+// WithLink connects two ASes' border routers with the given one-way
+// latency. Both ASes must be declared (by WithAS or a generator).
+func WithLink(a, b AID, latency time.Duration) TopologyOption {
+	return func(t *Topology) { t.Link(a, b, latency) }
+}
+
+// WithHosts attaches named hosts to an already-declared AS.
+func WithHosts(aid AID, names ...string) TopologyOption {
+	return func(t *Topology) { t.Hosts(aid, names...) }
+}
+
+// WithLine generates a line topology of n ASes numbered first,
+// first+1, ..., chained by links of the given latency.
+func WithLine(first AID, n int, latency time.Duration) TopologyOption {
+	return func(t *Topology) { t.Line(first, n, latency) }
+}
+
+// WithStar generates a star topology: a center AS plus `leaves` leaf
+// ASes numbered center+1, ..., each linked to the center.
+func WithStar(center AID, leaves int, latency time.Duration) TopologyOption {
+	return func(t *Topology) { t.Star(center, leaves, latency) }
+}
+
+// WithFullMesh generates a full mesh of n ASes numbered first,
+// first+1, ..., with a direct link between every pair.
+func WithFullMesh(first AID, n int, latency time.Duration) TopologyOption {
+	return func(t *Topology) { t.FullMesh(first, n, latency) }
+}
+
+// NewTopology returns an empty topology for the chainable method API;
+// most callers use New with options instead.
+func NewTopology() *Topology { return &Topology{} }
+
+// Options sets the simulation options.
+func (t *Topology) Options(o Options) *Topology {
+	t.opts, t.hasOpts = o, true
+	return t
+}
+
+// AS declares an AS with optional named hosts.
+func (t *Topology) AS(aid AID, hosts ...string) *Topology {
+	t.ases = append(t.ases, topoAS{aid: aid, hosts: hosts})
+	return t
+}
+
+// Link declares a link between two declared ASes.
+func (t *Topology) Link(a, b AID, latency time.Duration) *Topology {
+	t.links = append(t.links, topoLink{a: a, b: b, latency: latency})
+	return t
+}
+
+// Hosts attaches named hosts to a declared AS.
+func (t *Topology) Hosts(aid AID, names ...string) *Topology {
+	for i := range t.ases {
+		if t.ases[i].aid == aid {
+			t.ases[i].hosts = append(t.ases[i].hosts, names...)
+			return t
+		}
+	}
+	t.errs = append(t.errs, fmt.Errorf("%w: hosts %v on undeclared AS %v", ErrBadTopology, names, aid))
+	return t
+}
+
+// Line appends a line of n ASes chained by links.
+func (t *Topology) Line(first AID, n int, latency time.Duration) *Topology {
+	if n < 1 {
+		t.errs = append(t.errs, fmt.Errorf("%w: line of %d ASes", ErrBadTopology, n))
+		return t
+	}
+	for i := 0; i < n; i++ {
+		t.AS(first + AID(i))
+		if i > 0 {
+			t.Link(first+AID(i-1), first+AID(i), latency)
+		}
+	}
+	return t
+}
+
+// Star appends a center AS and `leaves` leaf ASes linked to it.
+func (t *Topology) Star(center AID, leaves int, latency time.Duration) *Topology {
+	if leaves < 1 {
+		t.errs = append(t.errs, fmt.Errorf("%w: star with %d leaves", ErrBadTopology, leaves))
+		return t
+	}
+	t.AS(center)
+	for i := 1; i <= leaves; i++ {
+		t.AS(center + AID(i))
+		t.Link(center, center+AID(i), latency)
+	}
+	return t
+}
+
+// FullMesh appends n ASes with a link between every pair.
+func (t *Topology) FullMesh(first AID, n int, latency time.Duration) *Topology {
+	if n < 1 {
+		t.errs = append(t.errs, fmt.Errorf("%w: mesh of %d ASes", ErrBadTopology, n))
+		return t
+	}
+	for i := 0; i < n; i++ {
+		t.AS(first + AID(i))
+		for j := 0; j < i; j++ {
+			t.Link(first+AID(j), first+AID(i), latency)
+		}
+	}
+	return t
+}
+
+// Validate checks the whole description: generator arguments, duplicate
+// ASes, links between undeclared or identical ASes, negative latencies
+// and duplicate host names.
+func (t *Topology) Validate() error {
+	if len(t.errs) > 0 {
+		return t.errs[0]
+	}
+	ases := make(map[AID]bool, len(t.ases))
+	hostNames := make(map[string]bool)
+	for _, as := range t.ases {
+		if ases[as.aid] {
+			return fmt.Errorf("%w: %v declared twice", ErrBadTopology, as.aid)
+		}
+		ases[as.aid] = true
+		for _, name := range as.hosts {
+			if name == "" {
+				return fmt.Errorf("%w: empty host name on AS %v", ErrBadTopology, as.aid)
+			}
+			if hostNames[name] {
+				return fmt.Errorf("%w: host %q declared twice", ErrBadTopology, name)
+			}
+			hostNames[name] = true
+		}
+	}
+	type pair struct{ lo, hi AID }
+	seen := make(map[pair]bool, len(t.links))
+	for _, l := range t.links {
+		if l.a == l.b {
+			return fmt.Errorf("%w: self-link on AS %v", ErrBadTopology, l.a)
+		}
+		if !ases[l.a] || !ases[l.b] {
+			return fmt.Errorf("%w: link %v-%v references undeclared AS", ErrBadTopology, l.a, l.b)
+		}
+		if l.latency < 0 {
+			return fmt.Errorf("%w: negative latency on link %v-%v", ErrBadTopology, l.a, l.b)
+		}
+		k := pair{l.a, l.b}
+		if l.b < l.a {
+			k = pair{l.b, l.a}
+		}
+		if seen[k] {
+			return fmt.Errorf("%w: link %v-%v declared twice", ErrBadTopology, l.a, l.b)
+		}
+		seen[k] = true
+	}
+	return nil
+}
+
+// Build validates the topology and constructs the internet: ASes with
+// fresh keys and services, links, inter-domain routes, and bootstrapped
+// hosts, ready for traffic.
+func (t *Topology) Build(seed int64) (*Internet, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	opts := t.opts
+	if !t.hasOpts {
+		opts = DefaultOptions()
+	}
+	in, err := NewInternetWithOptions(seed, opts)
+	if err != nil {
+		return nil, err
+	}
+	for _, as := range t.ases {
+		if _, err := in.AddAS(as.aid); err != nil {
+			return nil, err
+		}
+	}
+	for _, l := range t.links {
+		if err := in.Connect(l.a, l.b, l.latency); err != nil {
+			return nil, err
+		}
+	}
+	if err := in.Build(); err != nil {
+		return nil, err
+	}
+	for _, as := range t.ases {
+		for _, name := range as.hosts {
+			if _, err := in.AddHost(as.aid, name); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return in, nil
+}

@@ -1,0 +1,130 @@
+package apna
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"apna/internal/ephid"
+)
+
+func TestTopologyValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		topo []TopologyOption
+	}{
+		{"duplicate AS", []TopologyOption{WithAS(1), WithAS(1)}},
+		{"duplicate host", []TopologyOption{WithAS(1, "x"), WithAS(2, "x"), WithLink(1, 2, 0)}},
+		{"empty host name", []TopologyOption{WithAS(1, "")}},
+		{"link to undeclared AS", []TopologyOption{WithAS(1), WithLink(1, 2, 0)}},
+		{"self link", []TopologyOption{WithAS(1), WithLink(1, 1, 0)}},
+		{"duplicate link", []TopologyOption{WithAS(1), WithAS(2), WithLink(1, 2, 0), WithLink(2, 1, time.Millisecond)}},
+		{"negative latency", []TopologyOption{WithAS(1), WithAS(2), WithLink(1, 2, -time.Second)}},
+		{"hosts on undeclared AS", []TopologyOption{WithAS(1), WithHosts(2, "x")}},
+		{"empty line", []TopologyOption{WithLine(1, 0, 0)}},
+		{"empty star", []TopologyOption{WithStar(1, 0, 0)}},
+		{"empty mesh", []TopologyOption{WithFullMesh(1, -1, 0)}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := New(1, tc.topo...); !errors.Is(err, ErrBadTopology) {
+				t.Errorf("New() err = %v, want ErrBadTopology", err)
+			}
+		})
+	}
+}
+
+// TestTopologyGenerators checks that line, star and full-mesh layouts
+// route end to end: the two most distant hosts of each shape complete a
+// handshake and exchange data.
+func TestTopologyGenerators(t *testing.T) {
+	shapes := []struct {
+		name        string
+		topo        []TopologyOption
+		src, dst    AID
+		wantTransit AID // an AS that must carry transit traffic (0 = none)
+	}{
+		{"line", []TopologyOption{WithLine(10, 4, time.Millisecond),
+			WithHosts(10, "src"), WithHosts(13, "dst")}, 10, 13, 11},
+		{"star", []TopologyOption{WithStar(50, 3, time.Millisecond),
+			WithHosts(51, "src"), WithHosts(53, "dst")}, 51, 53, 50},
+		{"mesh", []TopologyOption{WithFullMesh(90, 4, time.Millisecond),
+			WithHosts(90, "src"), WithHosts(93, "dst")}, 90, 93, 0},
+	}
+	for _, tc := range shapes {
+		t.Run(tc.name, func(t *testing.T) {
+			in, err := New(1, tc.topo...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			src, dst := in.Host("src"), in.Host("dst")
+			if src == nil || dst == nil {
+				t.Fatal("hosts not registered")
+			}
+			if src.AS().AID != tc.src || dst.AS().AID != tc.dst {
+				t.Fatalf("hosts on %v/%v, want %v/%v", src.AS().AID, dst.AS().AID, tc.src, tc.dst)
+			}
+			ps, pd := src.NewEphIDAsync(ephid.KindData, 900), dst.NewEphIDAsync(ephid.KindData, 900)
+			if err := in.AwaitAll(ps, pd); err != nil {
+				t.Fatal(err)
+			}
+			idS, _ := ps.Result()
+			idD, _ := pd.Result()
+			conn, err := src.Connect(idS, &idD.Cert, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := src.Send(conn, []byte("across the "+tc.name)); err != nil {
+				t.Fatal(err)
+			}
+			if msgs := dst.Stack.Inbox(); len(msgs) != 1 {
+				t.Fatalf("delivered %d messages", len(msgs))
+			}
+			if tc.wantTransit != 0 && in.AS(tc.wantTransit).Router.Stats().Transited.Load() == 0 {
+				t.Errorf("no transit through AS %v", tc.wantTransit)
+			}
+			// In a full mesh every path is direct: no transit anywhere.
+			if tc.name == "mesh" {
+				for _, aid := range []AID{90, 91, 92, 93} {
+					if n := in.AS(aid).Router.Stats().Transited.Load(); n != 0 {
+						t.Errorf("mesh AS %v transited %d packets", aid, n)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestTopologyChainableAPI(t *testing.T) {
+	in, err := NewTopology().
+		AS(1, "alice").
+		AS(2).
+		Hosts(2, "bob").
+		Link(1, 2, 2*time.Millisecond).
+		Build(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Host("alice") == nil || in.Host("bob") == nil {
+		t.Fatal("hosts missing")
+	}
+	if got := len(in.Hosts()); got != 2 {
+		t.Fatalf("Hosts() = %d", got)
+	}
+	if _, err := in.AddHost(1, "alice"); !errors.Is(err, ErrDuplicateHost) {
+		t.Errorf("duplicate AddHost err = %v", err)
+	}
+}
+
+func TestWithOptionsReachesSimulation(t *testing.T) {
+	opts := DefaultOptions()
+	opts.StrikeLimit = 1
+	in, err := New(1, WithOptions(opts), WithAS(1, "a"), WithAS(2, "b"),
+		WithLink(1, 2, time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.opts.StrikeLimit != 1 {
+		t.Errorf("StrikeLimit = %d", in.opts.StrikeLimit)
+	}
+}

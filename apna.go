@@ -139,7 +139,9 @@ type Internet struct {
 	authority *rpki.Authority
 	ases      map[AID]*AS
 	hosts     map[string]*Host
+	attackers map[string]*Attacker
 	adjacency map[AID][]AID
+	links     map[asPair]*netsim.Link
 	built     bool
 	// live holds outstanding async operations with reply-routing state,
 	// settled (resolved or abandoned) whenever the timeline quiesces.
@@ -169,8 +171,20 @@ func NewInternetWithOptions(seed int64, opts Options) (*Internet, error) {
 		authority: auth,
 		ases:      make(map[AID]*AS),
 		hosts:     make(map[string]*Host),
+		attackers: make(map[string]*Attacker),
 		adjacency: make(map[AID][]AID),
+		links:     make(map[asPair]*netsim.Link),
 	}, nil
+}
+
+// asPair keys an inter-AS link by its endpoints, lowest AID first.
+type asPair struct{ lo, hi AID }
+
+func pairOf(a, b AID) asPair {
+	if b < a {
+		a, b = b, a
+	}
+	return asPair{lo: a, hi: b}
 }
 
 // Now returns the current virtual Unix time.
@@ -211,7 +225,23 @@ func (in *Internet) Connect(a, b AID, latency time.Duration) error {
 	asB.Router.AttachNeighbor(a, link.B())
 	in.adjacency[a] = append(in.adjacency[a], b)
 	in.adjacency[b] = append(in.adjacency[b], a)
+	in.links[pairOf(a, b)] = link
 	return nil
+}
+
+// InterASLink returns the link between two directly connected ASes, or
+// nil — the handle chaos configuration and adversarial wiretaps use.
+func (in *Internet) InterASLink(a, b AID) *netsim.Link { return in.links[pairOf(a, b)] }
+
+// SetInterASChaos applies a chaos configuration to every inter-AS link.
+// Intra-AS links (host access, service links) stay clean: AS-internal
+// control protocols assume ordered channels, matching the paper's model
+// where adversaries sit on the open internet, not inside the AS's
+// infrastructure.
+func (in *Internet) SetInterASChaos(cfg ChaosConfig) {
+	for _, l := range in.links {
+		l.SetChaos(cfg)
+	}
 }
 
 // Build computes inter-domain routes and installs them on every border

@@ -1,9 +1,14 @@
 // Command apna-bench regenerates the paper's evaluation artifacts
 // (Section V and Section VII-C): the MS performance table, the trace
 // statistics it is sized against, both Figure 8 forwarding series, the
-// connection-establishment latency analysis, and the concurrent
-// multi-flow scenario (E6); each table prints the paper's numbers next
-// to the measured ones.
+// connection-establishment latency analysis, the concurrent multi-flow
+// scenario (E6), and the adversarial conformance sweep (E7); each
+// table prints the paper's numbers next to the measured ones.
+//
+// The -seed flag drives every seeded experiment (E2 trace, E6
+// scenario, E7 sweep base), so CI and local runs can sweep seeds; E7
+// additionally takes -seeds for the sweep width and exits nonzero if
+// any paper invariant is violated.
 //
 // Usage:
 //
@@ -11,7 +16,8 @@
 //	apna-bench -exp e1 -requests 500000 -workers 4
 //	apna-bench -exp e3 -pkts 200000
 //	apna-bench -exp e2 -small     # quick synthetic trace
-//	apna-bench -exp e6            # concurrent multi-flow scenario
+//	apna-bench -exp e6 -seed 7    # concurrent multi-flow scenario
+//	apna-bench -exp e7 -seed 1 -seeds 5 -adversaries 2 -json
 package main
 
 import (
@@ -27,15 +33,18 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: e1, e2, e3 (includes e4), e5, e6, all")
-		requests = flag.Int("requests", 500_000, "E1: number of EphID requests")
-		workers  = flag.Int("workers", 4, "E1: parallel issuance workers (paper: 4)")
-		fwdHosts = flag.Int("hosts", 256, "E3: simulated source hosts")
-		pkts     = flag.Int("pkts", 500_000, "E3: packets per worker")
-		fwdWork  = flag.Int("fwd-workers", runtime.NumCPU(), "E3: forwarding workers (cores)")
-		small    = flag.Bool("small", false, "E2: use a small trace instead of paper scale")
-		oneWay   = flag.Duration("oneway", 25*time.Millisecond, "E5: one-way inter-AS latency")
-		seed     = flag.Int64("seed", 1, "E2: trace seed")
+		exp         = flag.String("exp", "all", "experiment: e1, e2, e3 (includes e4), e5, e6, e7, all")
+		requests    = flag.Int("requests", 500_000, "E1: number of EphID requests")
+		workers     = flag.Int("workers", 4, "E1: parallel issuance workers (paper: 4)")
+		fwdHosts    = flag.Int("hosts", 256, "E3: simulated source hosts")
+		pkts        = flag.Int("pkts", 500_000, "E3: packets per worker")
+		fwdWork     = flag.Int("fwd-workers", runtime.NumCPU(), "E3: forwarding workers (cores)")
+		small       = flag.Bool("small", false, "E2: use a small trace instead of paper scale")
+		oneWay      = flag.Duration("oneway", 25*time.Millisecond, "E5: one-way inter-AS latency")
+		seed        = flag.Int64("seed", 1, "base seed for every seeded experiment (E2, E6, E7)")
+		seeds       = flag.Int("seeds", 5, "E7: seeds in the sweep (seed, seed+1, ...)")
+		adversaries = flag.Int("adversaries", 2, "E7: number of attackers")
+		jsonOut     = flag.Bool("json", false, "E7: emit one JSON verdict per seed")
 	)
 	flag.Parse()
 
@@ -101,6 +110,27 @@ func main() {
 		}
 		res.Fprint(os.Stdout)
 		fmt.Println()
+	}
+
+	if run("e7") {
+		cfg := experiments.DefaultAdversarial()
+		cfg.Adversaries = *adversaries
+		cfg.Seeds = experiments.SeedSweep(*seed, *seeds)
+		fmt.Fprintf(os.Stderr, "adversarial conformance: %d seeds, %d adversaries, chaos links...\n",
+			len(cfg.Seeds), cfg.Adversaries)
+		res, err := experiments.RunE7(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		ok, err := res.Report(os.Stdout, *jsonOut)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+		if !ok {
+			fmt.Fprintln(os.Stderr, "apna-bench: E7 invariant violations")
+			os.Exit(2)
+		}
 	}
 }
 

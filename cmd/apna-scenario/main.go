@@ -1,14 +1,21 @@
-// Command apna-scenario drives the concurrent multi-flow scenario
-// enabled by the asynchronous facade: M hosts across a full mesh of K
-// ASes run overlapping EphID issuances, handshakes and data waves in
-// one shared virtual timeline, optionally with mid-flight shutoffs
-// racing the traffic.
+// Command apna-scenario drives the scenario layer: the concurrent
+// multi-flow scenario (E6) — M hosts across a full mesh of K ASes
+// running overlapping EphID issuances, handshakes and data waves in
+// one shared virtual timeline, optionally with mid-flight shutoffs —
+// and the adversarial conformance scenario (E7), which adds attackers,
+// chaos links and the paper-invariant referee, emitting a JSON verdict
+// per seed.
+//
+// The -seed flag (and for E7 -seeds, the sweep width) makes runs
+// reproducible and sweepable from CI.
 //
 // Usage:
 //
-//	apna-scenario                          # default 4x4 mesh
+//	apna-scenario                          # default 4x4 mesh (E6)
 //	apna-scenario -ases 8 -hosts 8 -flows 4 -messages 5
 //	apna-scenario -shutoffs 0              # pure traffic, no revocations
+//	apna-scenario -exp e7                  # adversarial conformance sweep
+//	apna-scenario -exp e7 -seed 10 -seeds 8 -adversaries 3 -json
 package main
 
 import (
@@ -22,28 +29,81 @@ import (
 
 func main() {
 	def := experiments.DefaultScenario()
+	adv := experiments.DefaultAdversarial()
 	var (
-		ases     = flag.Int("ases", def.ASes, "number of ASes (full mesh)")
-		hosts    = flag.Int("hosts", def.HostsPerAS, "hosts per AS")
-		flows    = flag.Int("flows", def.FlowsPerHost, "flows dialed per host")
-		messages = flag.Int("messages", def.MessagesPerFlow, "data waves per flow")
-		shutoffs = flag.Int("shutoffs", def.Shutoffs, "flows revoked mid-traffic")
-		latency  = flag.Duration("latency", def.LinkLatency, "one-way inter-AS latency")
-		seed     = flag.Int64("seed", def.Seed, "simulation seed")
+		exp         = flag.String("exp", "e6", "scenario: e6 (concurrent) or e7 (adversarial conformance)")
+		ases        = flag.Int("ases", def.ASes, "number of ASes (full mesh)")
+		hosts       = flag.Int("hosts", def.HostsPerAS, "hosts per AS")
+		flows       = flag.Int("flows", def.FlowsPerHost, "flows dialed per host")
+		messages    = flag.Int("messages", def.MessagesPerFlow, "data waves per flow")
+		shutoffs    = flag.Int("shutoffs", def.Shutoffs, "flows revoked mid-traffic")
+		latency     = flag.Duration("latency", def.LinkLatency, "one-way inter-AS latency")
+		seed        = flag.Int64("seed", def.Seed, "simulation seed (E7: sweep base)")
+		seeds       = flag.Int("seeds", len(adv.Seeds), "E7: seeds in the sweep (seed, seed+1, ...)")
+		adversaries = flag.Int("adversaries", adv.Adversaries, "E7: number of attackers")
+		jsonOut     = flag.Bool("json", false, "E7: emit one JSON verdict per seed")
 	)
 	flag.Parse()
 
-	cfg := experiments.ScenarioConfig{
-		ASes: *ases, HostsPerAS: *hosts, FlowsPerHost: *flows,
-		MessagesPerFlow: *messages, Shutoffs: *shutoffs,
-		LinkLatency: *latency, Seed: *seed,
-	}
 	start := time.Now()
-	res, err := experiments.RunE6(cfg)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "apna-scenario:", err)
-		os.Exit(1)
+	switch *exp {
+	case "e6":
+		cfg := experiments.ScenarioConfig{
+			ASes: *ases, HostsPerAS: *hosts, FlowsPerHost: *flows,
+			MessagesPerFlow: *messages, Shutoffs: *shutoffs,
+			LinkLatency: *latency, Seed: *seed,
+		}
+		res, err := experiments.RunE6(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		res.Fprint(os.Stdout)
+	case "e7":
+		// The sizing flags default to the E6 scenario's values; E7 keeps
+		// DefaultAdversarial sizing (so runs are comparable to apna-bench
+		// and the CI gate) unless a flag was set explicitly.
+		set := make(map[string]bool)
+		flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+		cfg := adv
+		if set["ases"] {
+			cfg.ASes = *ases
+		}
+		if set["hosts"] {
+			cfg.HostsPerAS = *hosts
+		}
+		if set["flows"] {
+			cfg.FlowsPerHost = *flows
+		}
+		if set["messages"] {
+			cfg.MessagesPerFlow = *messages
+		}
+		if set["shutoffs"] {
+			cfg.Shutoffs = *shutoffs
+		}
+		if set["latency"] {
+			cfg.LinkLatency = *latency
+		}
+		cfg.Adversaries = *adversaries
+		cfg.Seeds = experiments.SeedSweep(*seed, *seeds)
+		res, err := experiments.RunE7(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		ok, err := res.Report(os.Stdout, *jsonOut)
+		if err != nil {
+			fatal(err)
+		}
+		if !ok {
+			fmt.Fprintln(os.Stderr, "apna-scenario: E7 invariant violations")
+			os.Exit(2)
+		}
+	default:
+		fatal(fmt.Errorf("unknown scenario %q (want e6 or e7)", *exp))
 	}
-	res.Fprint(os.Stdout)
 	fmt.Printf("  total wall time:     %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "apna-scenario:", err)
+	os.Exit(1)
 }

@@ -1,0 +1,252 @@
+package adversary
+
+import (
+	"testing"
+	"time"
+
+	"apna/internal/border"
+	"apna/internal/crypto"
+	"apna/internal/ephid"
+	"apna/internal/hostdb"
+	"apna/internal/netsim"
+	"apna/internal/wire"
+)
+
+// Fixture: two ASes with real border routers joined by a tappable
+// link, an honest host registered in AS 1, a delivery collector in
+// AS 2, and an attacker attached to AS 1 like a rogue device.
+type world struct {
+	sim        *netsim.Simulator
+	r1, r2     *border.Router
+	sealer1    *ephid.Sealer
+	sealer2    *ephid.Sealer
+	secret1    *crypto.ASSecret
+	interAS    *netsim.Link
+	att        *Attacker
+	honest     wire.Endpoint // genuine EphID of AS 1's host
+	honestKeys crypto.HostASKeys
+	dst        wire.Endpoint // genuine EphID of AS 2's host
+	delivered  [][]byte      // frames reaching AS 2's host port
+}
+
+const nowUnix = 1000
+
+func newWorld(t *testing.T) *world {
+	t.Helper()
+	w := &world{sim: netsim.New(1)}
+	now := func() int64 { return nowUnix }
+
+	mkAS := func(aid ephid.AID) (*border.Router, *ephid.Sealer, *hostdb.DB, *crypto.ASSecret) {
+		secret, err := crypto.NewASSecret()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sealer, err := ephid.NewSealer(secret)
+		if err != nil {
+			t.Fatal(err)
+		}
+		db := hostdb.New()
+		r, err := border.New(aid, sealer, db, secret, now)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r, sealer, db, secret
+	}
+	var db1, db2 *hostdb.DB
+	w.r1, w.sealer1, db1, w.secret1 = mkAS(1)
+	w.r2, w.sealer2, db2, _ = mkAS(2)
+
+	w.interAS = w.sim.NewLink("1-2", time.Millisecond, 0)
+	w.r1.AttachNeighbor(2, w.interAS.A())
+	w.r2.AttachNeighbor(1, w.interAS.B())
+	w.r1.SetRoutes(netsim.Routes{2: 2})
+	w.r2.SetRoutes(netsim.Routes{1: 1})
+
+	// Honest host in AS 1 (the attacker will try to frame and
+	// impersonate it).
+	w.honestKeys = crypto.DeriveHostASKeys([]byte{1})
+	db1.Put(hostdb.Entry{HID: 1, Keys: w.honestKeys})
+	w.honest = wire.Endpoint{AID: 1, EphID: w.sealer1.Mint(ephid.Payload{HID: 1, ExpTime: nowUnix + 900})}
+
+	// Destination host in AS 2: a collector port recording deliveries.
+	db2.Put(hostdb.Entry{HID: 20, Keys: crypto.DeriveHostASKeys([]byte{2})})
+	w.dst = wire.Endpoint{AID: 2, EphID: w.sealer2.Mint(ephid.Payload{HID: 20, ExpTime: nowUnix + 900})}
+	hostLink := w.sim.NewLink("h20", 0, 0)
+	w.r2.AttachHost(20, hostLink.A())
+	hostLink.B().Attach(netsim.HandlerFunc(func(f []byte, _ *netsim.Port) {
+		w.delivered = append(w.delivered, f)
+	}), "h20")
+
+	// Attacker: rogue device inside AS 1.
+	attLink := w.sim.NewLink("att", 0, 0)
+	w.r1.AttachHost(999, attLink.A())
+	w.att = New("mallory", w.sim)
+	w.att.AttachPort(attLink.B())
+	return w
+}
+
+func (w *world) run() { w.sim.Run(1 << 16) }
+
+func TestForgedEphIDDroppedAtEgress(t *testing.T) {
+	w := newWorld(t)
+	if err := w.att.InjectForged(1, w.dst); err != nil {
+		t.Fatal(err)
+	}
+	w.run()
+	if got := w.r1.Stats().Get(border.VerdictDropBadEphID); got != 1 {
+		t.Errorf("DropBadEphID = %d, want 1", got)
+	}
+	if w.r1.Stats().Egressed.Load() != 0 || len(w.delivered) != 0 {
+		t.Error("forged frame escaped the source AS")
+	}
+	if w.att.Stats().Injected[KindForged] != 1 {
+		t.Error("injection not recorded")
+	}
+}
+
+func TestExpiredEphIDDroppedAtEgress(t *testing.T) {
+	w := newWorld(t)
+	expired := wire.Endpoint{AID: 1, EphID: w.sealer1.Mint(ephid.Payload{HID: 1, ExpTime: nowUnix - 1})}
+	if err := w.att.InjectExpired(expired, w.dst); err != nil {
+		t.Fatal(err)
+	}
+	w.run()
+	if got := w.r1.Stats().Get(border.VerdictDropExpired); got != 1 {
+		t.Errorf("DropExpired = %d, want 1", got)
+	}
+	if len(w.delivered) != 0 {
+		t.Error("expired-EphID frame delivered")
+	}
+}
+
+func TestForeignEphIDDroppedAtEgress(t *testing.T) {
+	w := newWorld(t)
+	// A genuine EphID of AS 2 claimed as sourced from AS 1: AS 1's
+	// sealer cannot decrypt it, so authentication fails.
+	foreign := w.sealer2.Mint(ephid.Payload{HID: 20, ExpTime: nowUnix + 900})
+	if err := w.att.InjectForeign(1, foreign, w.dst); err != nil {
+		t.Fatal(err)
+	}
+	w.run()
+	if got := w.r1.Stats().Get(border.VerdictDropBadEphID); got != 1 {
+		t.Errorf("DropBadEphID = %d, want 1", got)
+	}
+	if len(w.delivered) != 0 {
+		t.Error("foreign-EphID frame delivered")
+	}
+}
+
+func TestSourceSpoofDroppedAtEgress(t *testing.T) {
+	w := newWorld(t)
+	// The attacker claims AS 2 as source while attached to AS 1.
+	if err := w.att.InjectSpoofed(2, w.dst, false); err != nil {
+		t.Fatal(err)
+	}
+	w.run()
+	if got := w.r1.Stats().Get(border.VerdictDropBadEphID); got != 1 {
+		t.Errorf("DropBadEphID = %d, want 1", got)
+	}
+	if len(w.delivered) != 0 {
+		t.Error("AID-spoofed frame delivered")
+	}
+}
+
+func TestFramingAttackDroppedByPacketMAC(t *testing.T) {
+	w := newWorld(t)
+	// The attacker names the honest host's genuine EphID as source but
+	// cannot produce its per-packet MAC — the framing attack of
+	// Section VI-C. Every check before the MAC passes.
+	if err := w.att.InjectFramed(w.honest, w.dst); err != nil {
+		t.Fatal(err)
+	}
+	w.run()
+	if got := w.r1.Stats().Get(border.VerdictDropBadMAC); got != 1 {
+		t.Errorf("DropBadMAC = %d, want 1", got)
+	}
+	if len(w.delivered) != 0 {
+		t.Error("framed frame delivered")
+	}
+}
+
+func TestPostShutoffSendDroppedByRevocation(t *testing.T) {
+	w := newWorld(t)
+	comp, err := w.att.Compromise(w.honestKeys.MAC[:], w.honest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Before revocation the stolen identity passes every egress check:
+	// the compromised host is indistinguishable from the honest one.
+	if err := w.att.InjectCompromised(KindReplay, comp, w.dst, []byte("pre")); err != nil {
+		t.Fatal(err)
+	}
+	w.run()
+	if len(w.delivered) != 1 {
+		t.Fatalf("pre-revocation frame not delivered (%d)", len(w.delivered))
+	}
+
+	// The shutoff lands: the AA's revocation order reaches the router.
+	order, err := border.SignOrder(w.secret1, w.honest.EphID, nowUnix+900)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.r1.ApplyOrder(order); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := w.att.InjectCompromised(KindPostShutoff, comp, w.dst, []byte("post")); err != nil {
+		t.Fatal(err)
+	}
+	w.run()
+	if got := w.r1.Stats().Get(border.VerdictDropRevoked); got != 1 {
+		t.Errorf("DropRevoked = %d, want 1", got)
+	}
+	if len(w.delivered) != 1 {
+		t.Error("post-shutoff frame delivered")
+	}
+	if w.att.Stats().Injected[KindPostShutoff] != 1 {
+		t.Error("post-shutoff injection not recorded")
+	}
+}
+
+func TestTapCaptureAndExternalReplayPlumbing(t *testing.T) {
+	w := newWorld(t)
+	w.att.TapLink(w.interAS)
+	w.att.SetExternalInjector(w.r2.HandleExternalFrame)
+
+	comp, err := w.att.Compromise(w.honestKeys.MAC[:], w.honest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.att.InjectCompromised(KindReplay, comp, w.dst, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	w.run()
+	if w.att.Stats().Captured != 1 {
+		t.Fatalf("captured %d frames crossing the inter-AS link, want 1", w.att.Stats().Captured)
+	}
+	// Replay at AS 2's external interface. The router delivers it —
+	// replay rejection is the destination *host's* job (session window,
+	// handshake cache), asserted by the host-stack and facade tests.
+	n, err := w.att.ReplayCaptured(KindReplay, true)
+	if err != nil || n != 1 {
+		t.Fatalf("replayed %d, err %v", n, err)
+	}
+	w.run()
+	if len(w.delivered) != 2 {
+		t.Errorf("delivered = %d, want original + replayed copy at the port", len(w.delivered))
+	}
+}
+
+func TestInjectionErrors(t *testing.T) {
+	a := New("lone", netsim.New(1))
+	if err := a.InjectForged(1, wire.Endpoint{AID: 2}); err != ErrNotAttached {
+		t.Errorf("port-less inject err = %v", err)
+	}
+	if _, err := a.ReplayCaptured(KindReplay, true); err != nil {
+		t.Errorf("empty replay err = %v", err) // nothing captured: no-op
+	}
+	a.captured = [][]byte{make([]byte, wire.HeaderSize)}
+	if _, err := a.ReplayCaptured(KindReplay, true); err != ErrNoInjector {
+		t.Errorf("injector-less external replay err = %v", err)
+	}
+}

@@ -90,6 +90,18 @@ func (v Verdict) String() string {
 
 const verdictCount = 10
 
+// DropVerdicts lists every drop verdict — all verdicts after
+// VerdictForward. It tracks verdictCount, so reports iterating it pick
+// up newly added verdicts automatically instead of coupling to the
+// enum's first and last member.
+func DropVerdicts() []Verdict {
+	out := make([]Verdict, 0, verdictCount-1)
+	for v := Verdict(1); v < Verdict(verdictCount); v++ {
+		out = append(out, v)
+	}
+	return out
+}
+
 // Stats counts router outcomes, indexed by Verdict.
 type Stats struct {
 	counters [verdictCount]atomic.Uint64

@@ -1,0 +1,511 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"slices"
+	"time"
+
+	"apna"
+	"apna/internal/adversary"
+	"apna/internal/border"
+	"apna/internal/ephid"
+	"apna/internal/host"
+	"apna/internal/invariant"
+	"apna/internal/wire"
+)
+
+// E7 is the adversarial conformance scenario: M honest flows across a
+// full mesh of chaotic links, K attackers forging, framing, spoofing
+// and replaying against them, a shutoff wave mid-traffic, and the
+// invariant checker (internal/invariant) refereeing the whole run
+// against the paper's security properties. It runs a sweep of seeds
+// and emits a verdict per seed — the conformance gate every scaling
+// change is validated against.
+
+// AdversarialConfig sizes the E7 scenario.
+type AdversarialConfig struct {
+	// ASes is the number of ASes, laid out as a full mesh.
+	ASes int
+	// HostsPerAS is the number of honest hosts bootstrapped per AS.
+	HostsPerAS int
+	// FlowsPerHost is how many peers each host dials.
+	FlowsPerHost int
+	// MessagesPerFlow is how many data waves each flow carries.
+	MessagesPerFlow int
+	// Shutoffs is how many flows are revoked mid-traffic.
+	Shutoffs int
+	// Adversaries is the number of attackers; attacker k attaches to
+	// AS k%ASes and wiretaps one of its inter-AS links.
+	Adversaries int
+	// LinkLatency is the one-way inter-AS latency.
+	LinkLatency time.Duration
+	// Chaos is applied to every inter-AS link.
+	Chaos apna.ChaosConfig
+	// PartitionDur, if positive, partitions one inter-AS link for this
+	// long at the start of the third data wave.
+	PartitionDur time.Duration
+	// Seeds is the sweep; each seed runs an independent simulation.
+	Seeds []int64
+}
+
+// DefaultAdversarial returns the standard conformance sweep: 5 seeds,
+// 2 adversaries, chaos links with jitter, duplication, reordering,
+// loss and a timed partition.
+func DefaultAdversarial() AdversarialConfig {
+	return AdversarialConfig{
+		ASes: 3, HostsPerAS: 3, FlowsPerHost: 2, MessagesPerFlow: 4,
+		Shutoffs: 2, Adversaries: 2,
+		LinkLatency: 10 * time.Millisecond,
+		Chaos: apna.ChaosConfig{
+			Loss:        0.01,
+			Jitter:      2 * time.Millisecond,
+			DupProb:     0.05,
+			ReorderProb: 0.1, ReorderDelay: 3 * time.Millisecond,
+		},
+		PartitionDur: 20 * time.Millisecond,
+		Seeds:        []int64{1, 2, 3, 4, 5},
+	}
+}
+
+// SeedSweep expands a base seed into a sweep of n consecutive seeds
+// (base, base+1, ...); n is clamped to at least 1. Both cmd front ends
+// use it so the sweep semantics cannot drift between them.
+func SeedSweep(base int64, n int) []int64 {
+	if n < 1 {
+		n = 1
+	}
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = base + int64(i)
+	}
+	return out
+}
+
+// SeedVerdict is the JSON verdict of one seed's run.
+type SeedVerdict struct {
+	Seed int64 `json:"seed"`
+	// OK mirrors the invariant report: every paper property held.
+	OK     bool              `json:"ok"`
+	Report *invariant.Report `json:"report"`
+	// Attacks counts injected attack frames by kind.
+	Attacks map[string]uint64 `json:"attacks"`
+	// Defenses counts router and host drop verdicts that fired.
+	Defenses map[string]uint64 `json:"defenses"`
+	// Flows is established flows; FlowsFailed is dials that never
+	// completed (chaos losses).
+	Flows       int `json:"flows"`
+	FlowsFailed int `json:"flows_failed"`
+	// Delivered counts honest application-level deliveries.
+	Delivered int `json:"delivered"`
+	// Revoked counts shutoffs that landed at the source border router.
+	Revoked int    `json:"revoked"`
+	Events  uint64 `json:"events"`
+}
+
+// JSON renders the verdict as one JSON object.
+func (v *SeedVerdict) JSON() ([]byte, error) { return json.Marshal(v) }
+
+// E7Result aggregates the sweep.
+type E7Result struct {
+	Config      AdversarialConfig
+	Verdicts    []SeedVerdict
+	OK          bool
+	WallElapsed time.Duration
+}
+
+// RunE7 runs the adversarial conformance sweep.
+func RunE7(cfg AdversarialConfig) (*E7Result, error) {
+	if cfg.ASes < 2 || cfg.HostsPerAS < 1 || cfg.FlowsPerHost < 1 || cfg.MessagesPerFlow < 1 {
+		return nil, fmt.Errorf("experiments: adversarial scenario needs >=2 ASes, >=1 host, flow and message, got %+v", cfg)
+	}
+	if len(cfg.Seeds) == 0 {
+		return nil, fmt.Errorf("experiments: adversarial scenario needs at least one seed")
+	}
+	start := time.Now()
+	res := &E7Result{Config: cfg, OK: true}
+	for _, seed := range cfg.Seeds {
+		v, err := runE7Seed(cfg, seed)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: seed %d: %w", seed, err)
+		}
+		res.OK = res.OK && v.OK
+		res.Verdicts = append(res.Verdicts, *v)
+	}
+	res.WallElapsed = time.Since(start)
+	return res, nil
+}
+
+// e7Flow is one honest flow under adversarial pressure.
+type e7Flow struct {
+	src, dst    int
+	srcEp       apna.Endpoint
+	conn        *host.Conn
+	established bool
+	revoked     bool
+}
+
+func runE7Seed(cfg AdversarialConfig, seed int64) (*SeedVerdict, error) {
+	const firstAID = apna.AID(100)
+	topo := []apna.TopologyOption{
+		apna.WithFullMesh(firstAID, cfg.ASes, cfg.LinkLatency),
+		apna.WithChaos(cfg.Chaos),
+	}
+	for i := 0; i < cfg.ASes; i++ {
+		names := make([]string, cfg.HostsPerAS)
+		for j := range names {
+			names[j] = fmt.Sprintf("h%02d-%02d", i, j)
+		}
+		topo = append(topo, apna.WithHosts(firstAID+apna.AID(i), names...))
+	}
+	attackers := make([]*apna.Attacker, cfg.Adversaries)
+	for k := 0; k < cfg.Adversaries; k++ {
+		topo = append(topo, apna.WithAttacker(firstAID+apna.AID(k%cfg.ASes), fmt.Sprintf("mallory-%02d", k)))
+	}
+	in, err := apna.New(seed, topo...)
+	if err != nil {
+		return nil, err
+	}
+	hosts := in.Hosts()
+	// Group host indices by AS via the hosts' actual AIDs: Hosts()
+	// sorts by name, and lexicographic order stops matching the
+	// construction order once an index needs more digits than the
+	// name's zero padding.
+	byAS := make([][]int, cfg.ASes)
+	asIdx := func(hostIdx int) int { return int(hosts[hostIdx].AS().AID - firstAID) }
+	for i := range hosts {
+		byAS[asIdx(i)] = append(byAS[asIdx(i)], i)
+	}
+
+	// The referee. Grace covers the longest chaotic delivery path; the
+	// scenario only records revocations at timeline quiescence, so any
+	// later delivery from a revoked EphID is a genuine leak.
+	maxLink := cfg.LinkLatency + cfg.Chaos.Jitter + cfg.Chaos.ReorderDelay
+	check := invariant.New(in.Sim.Now, 3*maxLink+10*time.Millisecond)
+
+	verdict := &SeedVerdict{Seed: seed,
+		Attacks: make(map[string]uint64), Defenses: make(map[string]uint64)}
+
+	// Honest host state, as in E6, with every delivery also fed to the
+	// invariant checker through the stack's message callback.
+	type hostState struct {
+		ids  []*host.OwnedEphID
+		last map[apna.Endpoint]host.Message
+	}
+	states := make([]hostState, len(hosts))
+	for i, h := range hosts {
+		i, h := i, h
+		states[i].last = make(map[apna.Endpoint]host.Message)
+		h.Stack.OnMessage(func(m host.Message) {
+			verdict.Delivered++
+			states[i].last[m.Flow.Src] = m
+			check.Delivered(h.Name, m)
+		})
+		h.Stack.OnAccept(func(_ ephid.EphID, peer wire.Endpoint, addressed ephid.EphID) {
+			check.Accepted(peer, wire.Endpoint{AID: h.AS().AID, EphID: addressed})
+		})
+	}
+	for k := 0; k < cfg.Adversaries; k++ {
+		attackers[k] = in.Attacker(fmt.Sprintf("mallory-%02d", k))
+		// Each attacker wiretaps the first inter-AS link of its AS.
+		aid := attackers[k].AS().AID
+		other := firstAID
+		if other == aid {
+			other++
+		}
+		if err := attackers[k].TapInterAS(aid, other); err != nil {
+			return nil, err
+		}
+	}
+
+	// Phase 1: overlapping issuance (intra-AS, chaos-free by design).
+	pend := make([][]*apna.Pending[*host.OwnedEphID], len(hosts))
+	var issue []*apna.Pending[*host.OwnedEphID]
+	for i, h := range hosts {
+		for f := 0; f <= cfg.FlowsPerHost; f++ {
+			p := h.NewEphIDAsync(ephid.KindData, 24*3600)
+			pend[i] = append(pend[i], p)
+			issue = append(issue, p)
+		}
+	}
+	if err := in.AwaitAll(apna.Ops(issue...)...); err != nil {
+		return nil, fmt.Errorf("issuance wave: %w", err)
+	}
+	for i, h := range hosts {
+		for _, p := range pend[i] {
+			id, err := p.Result()
+			if err != nil {
+				return nil, fmt.Errorf("issuance: %w", err)
+			}
+			states[i].ids = append(states[i].ids, id)
+			check.Issued(h.AS().AID, id.Cert.EphID)
+		}
+	}
+
+	// Phase 2: the dial wave crosses chaotic links; lost handshakes
+	// surface as ErrTimeout and the affected flows are set aside.
+	var flows []e7Flow
+	var dials []*apna.Pending[*host.Conn]
+	for i, h := range hosts {
+		for f := 0; f < cfg.FlowsPerHost; f++ {
+			peer := (i + 1 + f*cfg.HostsPerAS) % len(hosts)
+			if peer == i {
+				peer = (i + 1) % len(hosts)
+			}
+			dialed := &states[peer].ids[cfg.FlowsPerHost].Cert
+			p := h.ConnectAsync(states[i].ids[f], dialed, nil)
+			dials = append(dials, p)
+			flows = append(flows, e7Flow{src: i, dst: peer, srcEp: states[i].ids[f].Endpoint()})
+			check.Dialed(states[i].ids[f].Endpoint(), apna.Endpoint{AID: dialed.AID, EphID: dialed.EphID})
+		}
+	}
+	if err := in.AwaitAll(apna.Ops(dials...)...); err != nil && err != apna.ErrTimeout {
+		return nil, fmt.Errorf("handshake wave: %w", err)
+	}
+	for i := range flows {
+		if conn, err := dials[i].Result(); err == nil {
+			flows[i].conn, flows[i].established = conn, true
+			verdict.Flows++
+		} else {
+			verdict.FlowsFailed++
+		}
+	}
+
+	// Pick the shutoff victims: prefer flows sourced inside attacker
+	// ASes so the post-shutoff compromise attack has identities to
+	// steal.
+	inAttackerAS := func(hostIdx int) bool {
+		as := asIdx(hostIdx)
+		for k := 0; k < cfg.Adversaries; k++ {
+			if as == k%cfg.ASes {
+				return true
+			}
+		}
+		return false
+	}
+	var targets []int
+	for fi := range flows {
+		if len(targets) < cfg.Shutoffs && flows[fi].established && inAttackerAS(flows[fi].src) {
+			targets = append(targets, fi)
+		}
+	}
+	for fi := range flows {
+		if len(targets) >= cfg.Shutoffs {
+			break
+		}
+		if flows[fi].established && !slices.Contains(targets, fi) {
+			targets = append(targets, fi)
+		}
+	}
+
+	// Phase 3: data waves with interleaved attacks.
+	var compromised []*adversary.Compromised
+	compromisedDst := make(map[int]apna.Endpoint)
+	for wave := 0; wave < cfg.MessagesPerFlow; wave++ {
+		if cfg.PartitionDur > 0 && wave == 2 && cfg.ASes >= 2 {
+			now := in.Sim.Now()
+			in.InterASLink(firstAID, firstAID+1).Partition(now, now+cfg.PartitionDur)
+		}
+
+		var ops []apna.Op
+		for fi := range flows {
+			fl := &flows[fi]
+			if !fl.established {
+				continue
+			}
+			msg := fmt.Sprintf("flow %d wave %d", fi, wave)
+			ops = append(ops, hosts[fl.src].SendAsync(fl.conn, []byte(msg)))
+		}
+
+		// Attack wave: every attacker probes each attack surface.
+		for k, att := range attackers {
+			dstHost := (k*7 + wave) % len(hosts)
+			dst := states[dstHost].ids[cfg.FlowsPerHost].Endpoint()
+			aid := att.AS().AID
+			otherAID := firstAID + apna.AID((int(aid-firstAID)+1)%cfg.ASes)
+
+			if err := att.InjectForged(aid, dst); err != nil {
+				return nil, err
+			}
+			// A genuine EphID of another AS, claimed as this AS's own.
+			foreignHost := byAS[int(otherAID-firstAID)][dstHost%cfg.HostsPerAS]
+			if err := att.InjectForeign(aid, states[foreignHost].ids[0].Cert.EphID, dst); err != nil {
+				return nil, err
+			}
+			if err := att.InjectSpoofed(otherAID, dst, false); err != nil {
+				return nil, err
+			}
+			// Frame an honest neighbor in the attacker's own AS.
+			victim := byAS[int(aid-firstAID)][wave%cfg.HostsPerAS]
+			if err := att.InjectFramed(states[victim].ids[0].Endpoint(), dst); err != nil {
+				return nil, err
+			}
+			// An expired identifier in the AS's genuine format.
+			expired := in.AS(aid).Sealer().Mint(ephid.Payload{
+				HID: 1, ExpTime: uint32(in.Now() - 10)})
+			if err := att.InjectExpired(apna.Endpoint{AID: aid, EphID: expired}, dst); err != nil {
+				return nil, err
+			}
+			if wave == 1 {
+				// On-path replay of everything captured so far,
+				// injected at the attacker AS's external interface.
+				if _, err := att.ReplayCaptured(apna.AttackReplay, true); err != nil {
+					return nil, err
+				}
+			}
+			// Post-shutoff: stolen identities keep transmitting.
+			for ci, comp := range compromised {
+				if err := att.InjectCompromised(apna.AttackPostShutoff, comp,
+					compromisedDst[ci], []byte("still here")); err != nil {
+					return nil, err
+				}
+			}
+		}
+
+		// Shutoff wave: victims of the first data wave file revocations
+		// that race the remaining traffic.
+		var shutoffs []*apna.Pending[bool]
+		if wave == 1 {
+			for _, fi := range targets {
+				fl := flows[fi]
+				m, ok := states[fl.dst].last[fl.srcEp]
+				if !ok {
+					continue // evidence lost to chaos
+				}
+				p := hosts[fl.dst].ShutoffAsync(m)
+				shutoffs = append(shutoffs, p)
+				ops = append(ops, p)
+			}
+		}
+		if err := in.AwaitAll(ops...); err != nil && err != apna.ErrTimeout {
+			return nil, fmt.Errorf("wave %d: %w", wave, err)
+		}
+
+		if wave == 1 {
+			// Ground truth, not acknowledgments: a shutoff counts when
+			// the revocation list at the source border router has the
+			// EphID. The timeline is idle here, so the revocation time
+			// the checker records is conservative.
+			for _, fi := range targets {
+				fl := &flows[fi]
+				srcAS := in.AS(fl.srcEp.AID)
+				if !srcAS.Router.Revoked().Contains(fl.srcEp.EphID) {
+					continue
+				}
+				fl.revoked = true
+				verdict.Revoked++
+				check.Revoked(fl.srcEp.EphID)
+				// The attacker in that AS steals the revoked identity.
+				for _, att := range attackers {
+					if att.AS().AID != fl.srcEp.AID {
+						continue
+					}
+					macKey := hosts[fl.src].Stack.Config().Keys.MAC
+					comp, err := att.Compromise(macKey[:], fl.srcEp)
+					if err != nil {
+						return nil, err
+					}
+					compromisedDst[len(compromised)] = states[fl.dst].ids[cfg.FlowsPerHost].Endpoint()
+					compromised = append(compromised, comp)
+					break
+				}
+			}
+		}
+	}
+	in.RunUntilIdle()
+
+	// Record the attackers' fabricated EphIDs for the forged-accept
+	// invariant, then referee the run.
+	for _, att := range attackers {
+		for _, inj := range att.Injections() {
+			if inj.Kind.Fabricated() {
+				check.ForgedInjected(inj.SrcEphID)
+			}
+		}
+		st := att.Stats()
+		for _, k := range adversary.AllKinds {
+			verdict.Attacks[k.String()] += st.Injected[k]
+		}
+	}
+	for i := 0; i < cfg.ASes; i++ {
+		st := in.AS(firstAID + apna.AID(i)).Router.Stats()
+		for _, v := range border.DropVerdicts() {
+			if n := st.Get(v); n > 0 {
+				verdict.Defenses[v.String()] += n
+			}
+		}
+	}
+	for _, h := range hosts {
+		st := h.Stack.Stats()
+		verdict.Defenses["host-drop-replay"] += st.DropReplay
+		verdict.Defenses["host-drop-decrypt"] += st.DropDecrypt
+		verdict.Defenses["host-drop-no-session"] += st.DropNoSession
+		verdict.Defenses["host-drop-bad-handshake"] += st.DropBadHandshake
+	}
+	verdict.Report = check.Check()
+	verdict.OK = verdict.Report.OK
+	verdict.Events = in.Sim.Events()
+	return verdict, nil
+}
+
+// Fprint renders the sweep summary.
+func (r *E7Result) Fprint(w io.Writer) {
+	c := r.Config
+	fmt.Fprintf(w, "E7: adversarial conformance sweep (%d seeds, %d adversaries, chaos %+v)\n",
+		len(c.Seeds), c.Adversaries, c.Chaos)
+	fmt.Fprintf(w, "  topology: full mesh of %d ASes x %d hosts, %d flows/host, %d waves, %d shutoffs\n",
+		c.ASes, c.HostsPerAS, c.FlowsPerHost, c.MessagesPerFlow, c.Shutoffs)
+	fmt.Fprintf(w, "  %-6s %-8s %-14s %-10s %-8s %-9s %s\n",
+		"seed", "verdict", "flows(ok/lost)", "delivered", "revoked", "attacks", "violations")
+	for i := range r.Verdicts {
+		v := &r.Verdicts[i]
+		verdict := "PASS"
+		if !v.OK {
+			verdict = "FAIL"
+		}
+		var attacks, violations uint64
+		for _, n := range v.Attacks {
+			attacks += n
+		}
+		for _, res := range v.Report.Results {
+			violations += uint64(len(res.Violations))
+		}
+		fmt.Fprintf(w, "  %-6d %-8s %-14s %-10d %-8d %-9d %d\n",
+			v.Seed, verdict, fmt.Sprintf("%d/%d", v.Flows, v.FlowsFailed),
+			v.Delivered, v.Revoked, attacks, violations)
+	}
+	status := "every paper invariant held on every seed"
+	if !r.OK {
+		status = "INVARIANT VIOLATIONS — see JSON verdicts"
+	}
+	fmt.Fprintf(w, "  %s (%v wall)\n", status, r.WallElapsed.Round(time.Millisecond))
+}
+
+// FprintJSON emits one JSON verdict per seed, one per line.
+func (r *E7Result) FprintJSON(w io.Writer) error {
+	for i := range r.Verdicts {
+		raw, err := r.Verdicts[i].JSON()
+		if err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s\n", raw); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Report renders the sweep summary — plus one JSON verdict per seed
+// when jsonOut — and returns whether every invariant held on every
+// seed. Both cmd front ends report through it so the conformance
+// gate's output contract cannot drift between them.
+func (r *E7Result) Report(w io.Writer, jsonOut bool) (bool, error) {
+	r.Fprint(w)
+	if jsonOut {
+		if err := r.FprintJSON(w); err != nil {
+			return false, err
+		}
+	}
+	return r.OK, nil
+}

@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestRunE7ConformanceSweep is the adversarial conformance gate: the
+// default sweep (>=5 seeds, >=2 adversaries, chaos links) must hold
+// every paper invariant on every seed, and every attack class must
+// both fire and be visibly rejected by the defense that the paper says
+// stops it.
+func TestRunE7ConformanceSweep(t *testing.T) {
+	cfg := DefaultAdversarial()
+	res, err := RunE7(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Verdicts) != len(cfg.Seeds) || len(cfg.Seeds) < 5 {
+		t.Fatalf("verdicts = %d for %d seeds", len(res.Verdicts), len(cfg.Seeds))
+	}
+	if cfg.Adversaries < 2 || !cfg.Chaos.Enabled() {
+		t.Fatal("default config is not adversarial enough for the conformance gate")
+	}
+	for i := range res.Verdicts {
+		v := &res.Verdicts[i]
+		if !v.OK {
+			raw, _ := v.JSON()
+			t.Errorf("seed %d violated invariants: %s", v.Seed, raw)
+		}
+		if v.Flows == 0 || v.Delivered == 0 {
+			t.Errorf("seed %d carried no honest traffic (%d flows, %d delivered)", v.Seed, v.Flows, v.Delivered)
+		}
+	}
+	if !res.OK {
+		t.Fatal("sweep verdict not OK")
+	}
+
+	// Aggregate attack and defense counters over the sweep: each attack
+	// class fired, and its corresponding rejection fired.
+	attacks := map[string]uint64{}
+	defenses := map[string]uint64{}
+	revoked := 0
+	for i := range res.Verdicts {
+		for k, n := range res.Verdicts[i].Attacks {
+			attacks[k] += n
+		}
+		for k, n := range res.Verdicts[i].Defenses {
+			defenses[k] += n
+		}
+		revoked += res.Verdicts[i].Revoked
+	}
+	for _, kind := range []string{"forged-ephid", "foreign-ephid", "expired-ephid",
+		"source-spoof", "framing", "replay", "post-shutoff"} {
+		if attacks[kind] == 0 {
+			t.Errorf("attack %q never fired across the sweep", kind)
+		}
+	}
+	if revoked == 0 {
+		t.Error("no shutoff landed across the sweep")
+	}
+	// forged/foreign/spoofed EphIDs fail authentication at egress.
+	if defenses["drop-bad-ephid"] == 0 {
+		t.Error("forged/foreign/spoofed EphIDs never rejected (drop-bad-ephid = 0)")
+	}
+	// Expired identifiers hit the expiry check.
+	if defenses["drop-expired"] == 0 {
+		t.Error("expired EphID never rejected (drop-expired = 0)")
+	}
+	// Framing dies on the per-packet MAC.
+	if defenses["drop-bad-mac"] == 0 {
+		t.Error("framing attack never rejected (drop-bad-mac = 0)")
+	}
+	// Post-shutoff transmissions die on the revocation list.
+	if defenses["drop-revoked"] == 0 {
+		t.Error("post-shutoff sends never rejected (drop-revoked = 0)")
+	}
+	// Replays (and chaos duplicates) die at the hosts' replay defences.
+	if defenses["host-drop-replay"] == 0 {
+		t.Error("replays never rejected (host-drop-replay = 0)")
+	}
+}
+
+func TestRunE7ConfigValidation(t *testing.T) {
+	bad := DefaultAdversarial()
+	bad.ASes = 1
+	if _, err := RunE7(bad); err == nil {
+		t.Error("single-AS config accepted")
+	}
+	noSeeds := DefaultAdversarial()
+	noSeeds.Seeds = nil
+	if _, err := RunE7(noSeeds); err == nil {
+		t.Error("empty seed sweep accepted")
+	}
+}
+
+func TestRunE7Reports(t *testing.T) {
+	cfg := DefaultAdversarial()
+	cfg.Seeds = []int64{1}
+	res, err := RunE7(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	res.Fprint(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "E7") || !strings.Contains(out, "PASS") {
+		t.Errorf("summary incomplete:\n%s", out)
+	}
+	var buf bytes.Buffer
+	if err := res.FprintJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 1 {
+		t.Fatalf("JSON lines = %d, want one per seed", len(lines))
+	}
+	var v map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &v); err != nil {
+		t.Fatalf("verdict not valid JSON: %v", err)
+	}
+	for _, key := range []string{"seed", "ok", "report", "attacks", "defenses"} {
+		if _, ok := v[key]; !ok {
+			t.Errorf("verdict JSON missing %q", key)
+		}
+	}
+}

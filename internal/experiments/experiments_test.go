@@ -20,8 +20,10 @@ func TestRunE1Small(t *testing.T) {
 		t.Error("no rate measured")
 	}
 	// The headline claim at any scale: generation outpaces the peak
-	// session demand of the paper's trace.
-	if res.Headroom <= 1 {
+	// session demand of the paper's trace. Under the race detector the
+	// crypto loop runs an order of magnitude slower, so the throughput
+	// shape is not meaningful there.
+	if res.Headroom <= 1 && !raceEnabled {
 		t.Errorf("headroom %.2f <= 1 — shape broken", res.Headroom)
 	}
 	var sb strings.Builder

@@ -75,6 +75,10 @@ type Conn struct {
 	established bool
 	queue       [][]byte
 	onEstablish func(*Conn)
+	// createdSess records whether Dial created this flow's session (as
+	// opposed to a re-dial reusing an existing one) — AbortDial may
+	// only tear down session state this dial actually owns.
+	createdSess bool
 }
 
 // Peer returns the current peer endpoint.
@@ -108,15 +112,25 @@ func (h *Host) Dial(local *OwnedEphID, peerCert *cert.Cert, opts DialOptions) (*
 		return nil, fmt.Errorf("%w: expired", ErrBadPeerCert)
 	}
 	peer := wire.Endpoint{AID: peerCert.AID, EphID: peerCert.EphID}
-	sess, err := session.New(local.DH, peerCert.DHPub[:], local.Cert.EphID, peerCert.EphID)
-	if err != nil {
-		return nil, err
-	}
+	// Re-dialing a flow whose session already exists continues that
+	// session rather than deriving a fresh one: the keys would be
+	// identical anyway (certificates are static), and continuing the
+	// sequence state keeps the peer's anti-replay window — which a
+	// re-handshake deliberately does not reset — accepting our traffic.
 	key := sessKey{local: local.Cert.EphID, peer: peer}
-	h.sessions[key] = sess
+	sess, ok := h.sessions[key]
+	if !ok {
+		var err error
+		sess, err = session.New(local.DH, peerCert.DHPub[:], local.Cert.EphID, peerCert.EphID)
+		if err != nil {
+			return nil, err
+		}
+		h.sessions[key] = sess
+	}
 	h.peerCerts[key] = peerCert
 
-	conn := &Conn{h: h, local: local, peer: peer, onEstablish: opts.OnEstablish}
+	conn := &Conn{h: h, local: local, peer: peer, onEstablish: opts.OnEstablish,
+		createdSess: !ok}
 
 	msg := handshakeMsg{cert: local.Cert}
 	flags := uint8(0)
@@ -182,6 +196,11 @@ func (h *Host) AbortDial(conn *Conn) {
 	} else {
 		h.dials[local] = list
 	}
+	if !conn.createdSess {
+		// A re-dial reused the session of an earlier connection on this
+		// flow; deleting it here would brick that live connection.
+		return
+	}
 	key := sessKey{local: local, peer: conn.peer}
 	delete(h.sessions, key)
 	delete(h.peerCerts, key)
@@ -236,6 +255,8 @@ func (h *Host) handleHandshake(hdr *wire.Header, payload []byte, frame []byte) {
 	}
 
 	if msg.flags&hsFlagAck != 0 {
+		// Acks need no replay cache: each consumes its in-flight dial
+		// record, so a replayed ack matches nothing and is dropped.
 		h.handleHandshakeAck(hdr, msg)
 		return
 	}
@@ -247,6 +268,23 @@ func (h *Host) handleHandshake(hdr *wire.Header, payload []byte, frame []byte) {
 		return
 	}
 	peer := wire.Endpoint{AID: hdr.SrcAID, EphID: hdr.SrcEphID}
+
+	// Replay protection (Section VIII-D): a handshake on a flow that
+	// already completed — a captured frame played back, or a genuine
+	// re-dial of the same flow — is answered with the original
+	// acknowledgment and nothing else. Re-deriving the session here
+	// would reset its anti-replay window, reopening the data plane to
+	// replayed ciphertext; silently dropping instead would let an
+	// attacker who preplays a victim's predictable handshake starve the
+	// genuine initiator of its ack. Any 0-RTT payload is discarded: it
+	// could be a replayed ciphertext, and the fresh-session derivation
+	// it needs is exactly what this path must not do.
+	fk := hsFlowKey{peer: peer, dst: hdr.DstEphID}
+	if prev, done := h.hsCompleted[fk]; done {
+		h.stats.DropReplay++
+		_ = h.send(wire.ProtoHandshake, 0, prev.src, peer, prev.payload)
+		return
+	}
 
 	// Choose the serving EphID: receive-only identifiers never source
 	// traffic (Section VII-A).
@@ -306,6 +344,9 @@ func (h *Host) handleHandshake(hdr *wire.Header, payload []byte, frame []byte) {
 		return
 	}
 	_ = h.send(wire.ProtoHandshake, 0, serving.Cert.EphID, peer, ackPayload)
+	// The handshake completed: remember its ack so duplicates are
+	// answered idempotently instead of re-deriving the session.
+	h.hsCompleted[fk] = hsAck{src: serving.Cert.EphID, payload: ackPayload}
 	if zeroRTT != nil {
 		h.deliver(*zeroRTT)
 	}
@@ -343,14 +384,20 @@ func (h *Host) handleHandshakeAck(hdr *wire.Header, msg *handshakeMsg) {
 	conn := ds.conn
 	if serving != conn.peer {
 		// The server migrated us to a serving EphID: derive the real
-		// session.
-		sess, err := session.New(conn.local.DH, msg.cert.DHPub[:], conn.local.Cert.EphID, msg.cert.EphID)
-		if err != nil {
-			h.stats.DropBadHandshake++
-			return
-		}
+		// session — unless one already exists (a genuine re-dial of the
+		// same receive-only flow), in which case it must be kept: the
+		// keys would be identical anyway, and replacing it would reset
+		// its anti-replay window, re-admitting ciphertext it already
+		// consumed.
 		key := sessKey{local: conn.local.Cert.EphID, peer: serving}
-		h.sessions[key] = sess
+		if _, ok := h.sessions[key]; !ok {
+			sess, err := session.New(conn.local.DH, msg.cert.DHPub[:], conn.local.Cert.EphID, msg.cert.EphID)
+			if err != nil {
+				h.stats.DropBadHandshake++
+				return
+			}
+			h.sessions[key] = sess
+		}
 		peerCert := msg.cert
 		h.peerCerts[key] = &peerCert
 		conn.peer = serving

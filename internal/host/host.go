@@ -99,6 +99,22 @@ type Host struct {
 
 	pendingEphID []*pendingIssue
 	dials        map[ephid.EphID][]*dialState
+	// hsCompleted is the responder's handshake replay protection
+	// (Section VIII-D): one entry per completed handshake flow —
+	// (initiator endpoint, addressed EphID) — holding the
+	// acknowledgment that answered it. A repeated handshake on that
+	// flow — a captured frame played back, or a genuine re-dial (the
+	// two are indistinguishable: certificates are static and handshakes
+	// carry no fresh randomness) — is answered with the SAME ack and
+	// never touches session state, so a replay can neither re-derive
+	// the session (resetting the data plane's anti-replay window and
+	// reopening it to replayed ciphertext) nor fire a duplicate accept,
+	// while a genuine re-dial still gets its ack. The addressed EphID
+	// must be part of the key: the same initiator endpoint dialing a
+	// different EphID of this host is a new flow, not a replay. Growth
+	// is bounded by the number of peer flows, the same order as the
+	// session table itself.
+	hsCompleted map[hsFlowKey]hsAck
 
 	nonce uint64
 
@@ -130,6 +146,28 @@ type sessKey struct {
 	peer  wire.Endpoint
 }
 
+// hsFlowKey identifies a handshake flow at the responder: the
+// initiator's endpoint and the local EphID it addressed.
+type hsFlowKey struct {
+	peer wire.Endpoint
+	dst  ephid.EphID
+}
+
+// hsAck is the stored answer to a completed handshake: the serving
+// EphID the acknowledgment was sent from and its payload, re-sent
+// verbatim to any repeat of that handshake. The entry is recorded only
+// after full certificate verification and completion, so nothing an
+// attacker can fabricate seeds it — in particular, the cache must NOT
+// be keyed by the header nonce: nonces are an unauthenticated plaintext
+// counter, so an attacker holding a victim's captured (genuinely
+// signed) certificate could mint a frame carrying the victim's
+// predicted next nonce and have the genuine handshake dropped as a
+// replay.
+type hsAck struct {
+	src     ephid.EphID
+	payload []byte
+}
+
 // New creates a host from its bootstrap identity.
 func New(cfg Config) (*Host, error) {
 	mac, err := wire.NewPacketMAC(cfg.Keys.MAC[:])
@@ -144,6 +182,7 @@ func New(cfg Config) (*Host, error) {
 		peerCerts:    make(map[sessKey]*cert.Cert),
 		lastFrame:    make(map[sessKey][]byte),
 		dials:        make(map[ephid.EphID][]*dialState),
+		hsCompleted:  make(map[hsFlowKey]hsAck),
 		flowTaps:     make(map[sessKey]func(Message) bool),
 		rawHandlers:  make(map[wire.NextProto]func(*wire.Header, []byte)),
 		rawListeners: make(map[wire.NextProto][]func(*wire.Header, []byte)),

@@ -20,6 +20,7 @@ import (
 type duplex struct {
 	sim   *netsim.Simulator
 	trust *rpki.TrustStore
+	link  *netsim.Link
 	a, b  *Host
 	// signers for the two synthetic ASes.
 	signA, signB *crypto.Signer
@@ -67,9 +68,9 @@ func newDuplex(t *testing.T) *duplex {
 	}
 	d.a, d.b = mkHost(1, 10), mkHost(2, 20)
 
-	link := d.sim.NewLink("ab", 0, 0)
-	d.a.Attach(link.A())
-	d.b.Attach(link.B())
+	d.link = d.sim.NewLink("ab", 0, 0)
+	d.a.Attach(d.link.A())
+	d.b.Attach(d.link.B())
 	return d
 }
 
@@ -227,6 +228,298 @@ func TestStackReplayRejected(t *testing.T) {
 	}
 	if d.b.Stats().DropReplay != 1 {
 		t.Errorf("DropReplay = %d", d.b.Stats().DropReplay)
+	}
+}
+
+func TestStackHandshakeReplayRejected(t *testing.T) {
+	d := newDuplex(t)
+	idA := d.issue(t, d.a, d.signA, ephid.KindData, 1)
+	idB := d.issue(t, d.b, d.signB, ephid.KindData, 2)
+
+	accepts := 0
+	d.b.OnAccept(func(ephid.EphID, wire.Endpoint, ephid.EphID) { accepts++ })
+
+	// An on-path adversary captures the initiator's handshake frame.
+	var handshake []byte
+	d.link.AddTap(func(f []byte, _ *netsim.Port) {
+		var hdr wire.Header
+		if hdr.DecodeFromBytes(f) == nil && hdr.NextProto == wire.ProtoHandshake && hdr.DstAID == 2 {
+			handshake = f
+		}
+	})
+	conn, err := d.a.Dial(idA, &idB.Cert, DialOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.sim.Run(1000)
+	if !conn.Established() || accepts != 1 {
+		t.Fatalf("established=%v accepts=%d", conn.Established(), accepts)
+	}
+	if handshake == nil {
+		t.Fatal("tap captured no handshake")
+	}
+	if err := conn.Send([]byte("pay")); err != nil {
+		t.Fatal(err)
+	}
+	d.sim.Run(1000)
+	msgs := d.b.Inbox()
+	if len(msgs) != 1 {
+		t.Fatal("no delivery")
+	}
+
+	// Replaying the captured handshake must not complete a second
+	// establishment — and, crucially, must not re-derive the session
+	// (which would reset the data-plane replay window).
+	d.b.HandleFrame(append([]byte(nil), handshake...), nil)
+	if accepts != 1 {
+		t.Errorf("replayed handshake accepted: accepts = %d", accepts)
+	}
+	if d.b.Stats().DropReplay != 1 {
+		t.Errorf("DropReplay = %d after handshake replay", d.b.Stats().DropReplay)
+	}
+	// The data-plane window survived: a replayed data frame still
+	// bounces even after the handshake replay attempt.
+	d.b.HandleFrame(append([]byte(nil), msgs[0].Raw...), nil)
+	if got := d.b.Inbox(); len(got) != 0 {
+		t.Error("replayed data delivered after handshake replay")
+	}
+	if d.b.Stats().DropReplay != 2 {
+		t.Errorf("DropReplay = %d after data replay", d.b.Stats().DropReplay)
+	}
+}
+
+func TestStackHandshakeCacheNotPoisonedByGarbage(t *testing.T) {
+	d := newDuplex(t)
+	idA := d.issue(t, d.a, d.signA, ephid.KindData, 1)
+	idB := d.issue(t, d.b, d.signB, ephid.KindData, 2)
+
+	// An attacker who knows A's endpoint and predictable next nonce
+	// (the per-host counter starts at 0, so A's dial carries nonce 1)
+	// injects an unauthenticated garbage handshake with that (source,
+	// nonce) pair before A dials. The replay cache must not record
+	// unauthenticated frames — otherwise the genuine handshake would be
+	// dropped as a replay, a trivial denial of service.
+	p := wire.Packet{
+		Header: wire.Header{
+			NextProto: wire.ProtoHandshake, HopLimit: wire.DefaultHopLimit,
+			Nonce:  1,
+			SrcAID: 1, DstAID: 2,
+			SrcEphID: idA.Cert.EphID, DstEphID: idB.Cert.EphID,
+		},
+		Payload: []byte("not a handshake"),
+	}
+	frame, err := p.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.b.HandleFrame(frame, nil)
+	if d.b.Stats().DropBadHandshake != 1 {
+		t.Fatalf("DropBadHandshake = %d, want 1", d.b.Stats().DropBadHandshake)
+	}
+
+	conn, err := d.a.Dial(idA, &idB.Cert, DialOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.sim.Run(1000)
+	if !conn.Established() {
+		t.Error("genuine handshake dropped: replay cache poisoned by unauthenticated frame")
+	}
+	if d.b.Stats().DropReplay != 0 {
+		t.Errorf("DropReplay = %d, want 0", d.b.Stats().DropReplay)
+	}
+}
+
+func TestStackHandshakePreplayDoesNotStarveDial(t *testing.T) {
+	d := newDuplex(t)
+	idA := d.issue(t, d.a, d.signA, ephid.KindData, 1)
+	idB := d.issue(t, d.b, d.signB, ephid.KindData, 2)
+
+	accepts := 0
+	d.b.OnAccept(func(ephid.EphID, wire.Endpoint, ephid.EphID) { accepts++ })
+
+	// A stronger poisoning attempt than garbage: an attacker holding
+	// A's captured (genuinely signed) certificate preplays A's fully
+	// valid, predictable handshake before A dials. It authenticates and
+	// completes on B — but when A's genuine handshake arrives, B must
+	// answer it with the original ack (idempotent completion) rather
+	// than starving A's dial by dropping it as a replay.
+	msg := handshakeMsg{cert: idA.Cert}
+	payload, err := msg.encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := wire.Packet{
+		Header: wire.Header{
+			NextProto: wire.ProtoHandshake, HopLimit: wire.DefaultHopLimit,
+			Nonce:  1 << 50,
+			SrcAID: 1, DstAID: 2,
+			SrcEphID: idA.Cert.EphID, DstEphID: idB.Cert.EphID,
+		},
+		Payload: payload,
+	}
+	frame, err := p.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.b.HandleFrame(frame, nil)
+	if accepts != 1 {
+		t.Fatalf("accepts = %d after preplay, want 1", accepts)
+	}
+
+	conn, err := d.a.Dial(idA, &idB.Cert, DialOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.sim.Run(1000)
+	if !conn.Established() {
+		t.Error("genuine dial starved by preplayed handshake")
+	}
+	if accepts != 1 {
+		t.Errorf("accepts = %d, want 1 (duplicate handshake must not re-accept)", accepts)
+	}
+	if d.b.Stats().DropReplay != 1 {
+		t.Errorf("DropReplay = %d, want 1", d.b.Stats().DropReplay)
+	}
+	// The connection actually works end to end.
+	if err := conn.Send([]byte("after preplay")); err != nil {
+		t.Fatal(err)
+	}
+	d.sim.Run(1000)
+	if msgs := d.b.Inbox(); len(msgs) != 1 || string(msgs[0].Payload) != "after preplay" {
+		t.Fatalf("b inbox: %+v", msgs)
+	}
+}
+
+func TestStackDialSecondEphIDOfSameHost(t *testing.T) {
+	// Replay protection is per flow, not per initiator: after dialing
+	// one of B's EphIDs, dialing a *different* EphID of the same host
+	// from the same source endpoint is a new flow and must complete,
+	// not be answered with the first flow's cached ack.
+	d := newDuplex(t)
+	idA := d.issue(t, d.a, d.signA, ephid.KindData, 1)
+	idB1 := d.issue(t, d.b, d.signB, ephid.KindData, 2)
+	idB2 := d.issue(t, d.b, d.signB, ephid.KindData, 3)
+
+	c1, err := d.a.Dial(idA, &idB1.Cert, DialOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.sim.Run(1000)
+	if !c1.Established() {
+		t.Fatal("first dial failed")
+	}
+	c2, err := d.a.Dial(idA, &idB2.Cert, DialOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.sim.Run(1000)
+	if !c2.Established() {
+		t.Error("dial to second EphID starved by first flow's replay cache")
+	}
+	if got := d.b.Stats().DropReplay; got != 0 {
+		t.Errorf("DropReplay = %d, want 0", got)
+	}
+}
+
+func TestStackReceiveOnlyRedialKeepsReplayWindow(t *testing.T) {
+	// Re-dialing a receive-only flow migrates to the same serving EphID
+	// again; the initiator must KEEP its existing serving session —
+	// re-deriving it would reset the anti-replay window and re-admit
+	// captured ciphertext the window already consumed.
+	d := newDuplex(t)
+	idA := d.issue(t, d.a, d.signA, ephid.KindData, 1)
+	recvOnly := d.issue(t, d.b, d.signB, ephid.KindReceiveOnly, 2)
+	d.issue(t, d.b, d.signB, ephid.KindData, 3) // serving
+
+	var captured [][]byte
+	d.link.AddTap(func(f []byte, _ *netsim.Port) {
+		var hdr wire.Header
+		if hdr.DecodeFromBytes(f) == nil && hdr.NextProto == wire.ProtoSession && hdr.DstAID == 1 {
+			captured = append(captured, f)
+		}
+	})
+
+	c1, err := d.a.Dial(idA, &recvOnly.Cert, DialOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.sim.Run(1000)
+	if !c1.Established() {
+		t.Fatal("first dial failed")
+	}
+	// B sends data so A's receive window consumes its nonces.
+	if err := c1.Send([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	d.sim.Run(1000)
+	msgs := d.b.Inbox()
+	if len(msgs) != 1 {
+		t.Fatal("no delivery at B")
+	}
+	if err := d.b.Respond(msgs[0], []byte("pong")); err != nil {
+		t.Fatal(err)
+	}
+	d.sim.Run(1000)
+	if back := d.a.Inbox(); len(back) != 1 {
+		t.Fatal("no response at A")
+	}
+	if len(captured) == 0 {
+		t.Fatal("tap captured no B->A data frame")
+	}
+
+	// Genuine re-dial of the same receive-only flow.
+	c2, err := d.a.Dial(idA, &recvOnly.Cert, DialOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.sim.Run(1000)
+	if !c2.Established() {
+		t.Fatal("re-dial failed")
+	}
+
+	// An on-path attacker replays the captured B->A data. A fresh
+	// serving session would decrypt and deliver it a second time.
+	for _, f := range captured {
+		d.a.HandleFrame(append([]byte(nil), f...), nil)
+	}
+	if got := d.a.Inbox(); len(got) != 0 {
+		t.Errorf("replayed data delivered after re-dial: %d messages", len(got))
+	}
+}
+
+func TestStackAbortRedialKeepsEstablishedSession(t *testing.T) {
+	// Aborting an abandoned re-dial must not tear down the session the
+	// established connection on the same flow is still using.
+	d := newDuplex(t)
+	idA := d.issue(t, d.a, d.signA, ephid.KindData, 1)
+	idB := d.issue(t, d.b, d.signB, ephid.KindData, 2)
+
+	c1, err := d.a.Dial(idA, &idB.Cert, DialOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.sim.Run(1000)
+	if !c1.Established() {
+		t.Fatal("dial failed")
+	}
+
+	// Re-dial the same flow, then abandon it before the ack arrives.
+	c2, err := d.a.Dial(idA, &idB.Cert, DialOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.a.AbortDial(c2)
+
+	if !d.a.HasSession(idA.Cert.EphID, c1.Peer()) {
+		t.Fatal("aborted re-dial destroyed the established session")
+	}
+	if err := c1.Send([]byte("still alive")); err != nil {
+		t.Fatal(err)
+	}
+	d.sim.Run(1000)
+	if msgs := d.b.Inbox(); len(msgs) != 1 || string(msgs[0].Payload) != "still alive" {
+		t.Fatalf("b inbox after abort: %+v", msgs)
 	}
 }
 

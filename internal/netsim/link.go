@@ -19,6 +19,9 @@ func (f HandlerFunc) HandleFrame(frame []byte, from *Port) { f(frame, from) }
 
 // Link is a bidirectional point-to-point link between two ports, with a
 // one-way latency and an independent loss probability per frame.
+// Optional chaos behaviour (jitter, duplication, reordering, timed
+// partitions) is configured with SetChaos, and frame taps for on-path
+// capture with AddTap.
 type Link struct {
 	sim     *Simulator
 	latency time.Duration
@@ -26,14 +29,22 @@ type Link struct {
 	name    string
 	a, b    Port
 
+	chaos ChaosConfig
+	taps  []func(frame []byte, from *Port)
+
 	stats LinkStats
 }
 
-// LinkStats counts traffic over a link (both directions).
+// LinkStats counts traffic over a link (both directions). Dropped
+// includes partition drops; Duplicated and Reordered count the extra
+// copies and held-back frames the chaos configuration introduced.
 type LinkStats struct {
-	Frames  uint64
-	Bytes   uint64
-	Dropped uint64
+	Frames         uint64
+	Bytes          uint64
+	Dropped        uint64
+	PartitionDrops uint64
+	Duplicated     uint64
+	Reordered      uint64
 }
 
 // NewLink creates a link in the simulator with the given one-way latency
@@ -84,20 +95,48 @@ func (p *Port) Label() string { return p.label }
 // Link returns the port's link.
 func (p *Port) Link() *Link { return p.link }
 
-// Send transmits a frame to the opposite port after the link latency.
-// The frame is copied at send time: simulated nodes may reuse buffers,
-// and real links serialize bits, not aliases.
+// Send transmits a frame to the opposite port after the link latency
+// plus any chaotic delay. The frame is copied at send time: simulated
+// nodes may reuse buffers, and real links serialize bits, not aliases.
 func (p *Port) Send(frame []byte) {
 	l := p.link
+	if l.chaos.partitioned(l.sim.now) {
+		l.stats.Dropped++
+		l.stats.PartitionDrops++
+		return
+	}
 	if l.loss > 0 && l.sim.rng.Float64() < l.loss {
+		l.stats.Dropped++
+		return
+	}
+	if l.chaos.Loss > 0 && l.sim.rng.Float64() < l.chaos.Loss {
 		l.stats.Dropped++
 		return
 	}
 	l.stats.Frames++
 	l.stats.Bytes += uint64(len(frame))
+	for _, tap := range l.taps {
+		tap(append([]byte(nil), frame...), p)
+	}
+	p.deliverCopy(frame)
+	if l.chaos.DupProb > 0 && l.sim.rng.Float64() < l.chaos.DupProb {
+		l.stats.Duplicated++
+		p.deliverCopy(frame)
+	}
+}
+
+// deliverCopy schedules one delivery of frame at the link latency plus
+// a fresh chaotic-delay draw; each copy jitters independently, so
+// duplicates can overtake originals.
+func (p *Port) deliverCopy(frame []byte) {
+	l := p.link
+	extra, reordered := l.chaos.extraDelay(l.sim.rng)
+	if reordered {
+		l.stats.Reordered++
+	}
 	buf := append([]byte(nil), frame...)
 	dst := p.peer
-	l.sim.Schedule(l.latency, func() {
+	l.sim.Schedule(l.latency+extra, func() {
 		if dst.owner != nil {
 			dst.owner.HandleFrame(buf, dst)
 		}

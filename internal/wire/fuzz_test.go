@@ -1,0 +1,87 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+
+	"apna/internal/ephid"
+)
+
+// FuzzParseHeader drives the header codec with arbitrary bytes: no
+// input may panic, ValidFrame and DecodeFromBytes must agree, and any
+// decodable header must survive a serialize/decode round trip bit
+// exact. The border router calls these on every frame an adversary can
+// craft, so the codec's total robustness is a security property, not
+// just hygiene.
+func FuzzParseHeader(f *testing.F) {
+	// Seed corpus: a genuine frame with payload, its header, and the
+	// interesting truncation/corruption boundaries.
+	valid := Packet{
+		Header: Header{
+			NextProto: ProtoSession, Flags: FlagZeroRTT, HopLimit: 17,
+			Nonce:  0xDEADBEEFCAFE,
+			SrcAID: 100, DstAID: 200,
+			SrcEphID: ephid.EphID{1, 2, 3}, DstEphID: ephid.EphID{4, 5, 6},
+			MAC: [MACSize]byte{7, 8, 9},
+		},
+		Payload: []byte("seed payload"),
+	}
+	frame, err := valid.Encode()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(frame)
+	f.Add(frame[:HeaderSize])                     // bare header, zero payload declared
+	f.Add(frame[:HeaderSize-1])                   // one byte short of a header
+	f.Add(frame[:1])                              // version only
+	f.Add([]byte{})                               // empty
+	f.Add(bytes.Repeat([]byte{0xFF}, HeaderSize)) // wrong version
+	badLen := append([]byte(nil), frame...)
+	badLen[offPayloadLen] ^= 0x40 // length field lies about the payload
+	f.Add(badLen)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var h Header
+		err := h.DecodeFromBytes(data)
+		if err != nil {
+			if ValidFrame(data) {
+				t.Fatalf("ValidFrame accepted undecodable input: %x", data)
+			}
+			return
+		}
+		// Round trip: serialize the decoded header and decode it again.
+		buf := make([]byte, HeaderSize)
+		if err := h.SerializeTo(buf); err != nil {
+			t.Fatalf("decoded header failed to serialize: %v", err)
+		}
+		var h2 Header
+		if err := h2.DecodeFromBytes(buf); err != nil {
+			t.Fatalf("round-tripped header failed to decode: %v", err)
+		}
+		if h2 != h {
+			t.Fatalf("round trip changed header: %+v vs %+v", h, h2)
+		}
+
+		// Full-packet decoding must agree with the raw-frame validator
+		// and never return a payload that contradicts the header.
+		pkt, err := DecodePacket(data)
+		if err == nil {
+			if !ValidFrame(data) {
+				t.Fatal("DecodePacket accepted a frame ValidFrame rejects")
+			}
+			if int(pkt.Header.PayloadLen) != len(pkt.Payload) {
+				t.Fatalf("payload length %d vs declared %d", len(pkt.Payload), pkt.Header.PayloadLen)
+			}
+		} else if ValidFrame(data) {
+			t.Fatal("ValidFrame accepted a frame DecodePacket rejects")
+		}
+
+		// Raw accessors must match the decoded struct on any decodable
+		// frame (the fast path and slow path can never disagree).
+		if FrameSrcAID(data) != h.SrcAID || FrameDstAID(data) != h.DstAID ||
+			FrameSrcEphID(data) != h.SrcEphID || FrameDstEphID(data) != h.DstEphID ||
+			FrameFlags(data) != h.Flags || FrameHopLimit(data) != h.HopLimit {
+			t.Fatal("raw accessors disagree with decoded header")
+		}
+	})
+}

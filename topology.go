@@ -20,11 +20,13 @@ import (
 // Generators produce whole shapes at once: WithLine, WithStar and
 // WithFullMesh lay out N-AS line, star and full-mesh topologies.
 type Topology struct {
-	opts    Options
-	hasOpts bool
-	ases    []topoAS
-	links   []topoLink
-	errs    []error
+	opts      Options
+	hasOpts   bool
+	ases      []topoAS
+	links     []topoLink
+	attackers []topoAttacker
+	chaos     *ChaosConfig
+	errs      []error
 }
 
 type topoAS struct {
@@ -35,6 +37,11 @@ type topoAS struct {
 type topoLink struct {
 	a, b    AID
 	latency time.Duration
+}
+
+type topoAttacker struct {
+	aid  AID
+	name string
 }
 
 // ErrBadTopology wraps every topology validation failure.
@@ -95,6 +102,20 @@ func WithFullMesh(first AID, n int, latency time.Duration) TopologyOption {
 	return func(t *Topology) { t.FullMesh(first, n, latency) }
 }
 
+// WithChaos applies a chaos configuration (jitter, duplication,
+// reordering, loss, timed partitions) to every inter-AS link of the
+// built internet. Intra-AS links stay clean — the adversary sits on
+// the open internet, not inside AS infrastructure.
+func WithChaos(cfg ChaosConfig) TopologyOption {
+	return func(t *Topology) { t.Chaos(cfg) }
+}
+
+// WithAttacker attaches a named attacker to an AS (which must be
+// declared). Retrieve it after Build with Internet.Attacker(name).
+func WithAttacker(aid AID, name string) TopologyOption {
+	return func(t *Topology) { t.Attacker(aid, name) }
+}
+
 // NewTopology returns an empty topology for the chainable method API;
 // most callers use New with options instead.
 func NewTopology() *Topology { return &Topology{} }
@@ -114,6 +135,18 @@ func (t *Topology) AS(aid AID, hosts ...string) *Topology {
 // Link declares a link between two declared ASes.
 func (t *Topology) Link(a, b AID, latency time.Duration) *Topology {
 	t.links = append(t.links, topoLink{a: a, b: b, latency: latency})
+	return t
+}
+
+// Chaos stores the inter-AS chaos configuration.
+func (t *Topology) Chaos(cfg ChaosConfig) *Topology {
+	t.chaos = &cfg
+	return t
+}
+
+// Attacker declares a named attacker attached to an AS.
+func (t *Topology) Attacker(aid AID, name string) *Topology {
+	t.attackers = append(t.attackers, topoAttacker{aid: aid, name: name})
 	return t
 }
 
@@ -218,6 +251,35 @@ func (t *Topology) Validate() error {
 		}
 		seen[k] = true
 	}
+	attackers := make(map[string]bool, len(t.attackers))
+	for _, a := range t.attackers {
+		if a.name == "" {
+			return fmt.Errorf("%w: empty attacker name on AS %v", ErrBadTopology, a.aid)
+		}
+		if !ases[a.aid] {
+			return fmt.Errorf("%w: attacker %q on undeclared AS %v", ErrBadTopology, a.name, a.aid)
+		}
+		if attackers[a.name] {
+			return fmt.Errorf("%w: attacker %q declared twice", ErrBadTopology, a.name)
+		}
+		attackers[a.name] = true
+	}
+	if t.chaos != nil {
+		for _, p := range []float64{t.chaos.Loss, t.chaos.DupProb, t.chaos.ReorderProb} {
+			if p < 0 || p > 1 {
+				return fmt.Errorf("%w: chaos probability %v outside [0,1]", ErrBadTopology, p)
+			}
+		}
+		if t.chaos.Jitter < 0 || t.chaos.ReorderDelay < 0 {
+			return fmt.Errorf("%w: negative chaos delay", ErrBadTopology)
+		}
+		for _, iv := range t.chaos.Partitions {
+			if iv.From < 0 || iv.Until <= iv.From {
+				return fmt.Errorf("%w: partition window [%v,%v) is empty or negative",
+					ErrBadTopology, iv.From, iv.Until)
+			}
+		}
+	}
 	return nil
 }
 
@@ -249,11 +311,19 @@ func (t *Topology) Build(seed int64) (*Internet, error) {
 	if err := in.Build(); err != nil {
 		return nil, err
 	}
+	if t.chaos != nil {
+		in.SetInterASChaos(*t.chaos)
+	}
 	for _, as := range t.ases {
 		for _, name := range as.hosts {
 			if _, err := in.AddHost(as.aid, name); err != nil {
 				return nil, err
 			}
+		}
+	}
+	for _, a := range t.attackers {
+		if _, err := in.AddAttacker(a.aid, a.name); err != nil {
+			return nil, err
 		}
 	}
 	return in, nil

@@ -26,6 +26,7 @@ import (
 	"apna/internal/border"
 	"apna/internal/cert"
 	"apna/internal/crypto"
+	"apna/internal/engine"
 	"apna/internal/ephid"
 	"apna/internal/host"
 	"apna/internal/hostdb"
@@ -186,6 +187,28 @@ func BenchmarkBorderEgress(b *testing.B) {
 	}
 }
 
+// BenchmarkBorderEgressBatch measures the batched fast path: the
+// amortized per-packet cost the parallel engine pays.
+func BenchmarkBorderEgressBatch(b *testing.B) {
+	f, err := pktgen.NewFixture(64, 256)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pipe := f.Router.NewEgressPipeline()
+	verdicts := make([]border.Verdict, 0, len(f.Frames))
+	b.SetBytes(int64(256 * len(f.Frames)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		verdicts = pipe.ProcessBatch(f.Frames, verdicts[:0])
+		for _, v := range verdicts {
+			if v != border.VerdictForward {
+				b.Fatalf("verdict %v", v)
+			}
+		}
+	}
+}
+
 func BenchmarkBorderIngress(b *testing.B) {
 	f, err := pktgen.NewFixture(64, 256)
 	if err != nil {
@@ -278,6 +301,52 @@ func BenchmarkHeaderSerialize(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkHeaderAppendTo measures the append-style encoder into a
+// reused buffer (the zero-allocation encode path).
+func BenchmarkHeaderAppendTo(b *testing.B) {
+	var h wire.Header
+	buf := make([]byte, 0, wire.HeaderSize)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = h.AppendTo(buf[:0])
+	}
+}
+
+// BenchmarkFramePool measures a steady-state Get/Put cycle.
+func BenchmarkFramePool(b *testing.B) {
+	var p wire.FramePool
+	p.Put(p.Get(1518))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.Put(p.Get(1518))
+	}
+}
+
+// BenchmarkEngineSaturate runs a small end-to-end engine measurement:
+// multi-AS world, batched egress -> transit -> ingress.
+func BenchmarkEngineSaturate(b *testing.B) {
+	w, err := pktgen.NewWorld(pktgen.WorldConfig{
+		ASes: 2, HostsPerAS: 32, FrameSize: 256, FramesPerLane: 128, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := engine.Run(w, engine.Config{
+			Workers: 1, BatchSize: 64, PacketsPerWorker: 10_000,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Delivered != rep.Packets {
+			b.Fatalf("dropped %d clean packets", rep.Dropped)
+		}
+	}
+	b.SetBytes(int64(256 * 10_000))
 }
 
 // --- A4: session encryption ----------------------------------------------------

@@ -2,13 +2,14 @@
 // (Section V and Section VII-C): the MS performance table, the trace
 // statistics it is sized against, both Figure 8 forwarding series, the
 // connection-establishment latency analysis, the concurrent multi-flow
-// scenario (E6), and the adversarial conformance sweep (E7); each
-// table prints the paper's numbers next to the measured ones.
+// scenario (E6), the adversarial conformance sweep (E7), and the
+// multi-AS parallel-engine saturation run (E8); each table prints the
+// paper's numbers next to the measured ones.
 //
 // The -seed flag drives every seeded experiment (E2 trace, E6
-// scenario, E7 sweep base), so CI and local runs can sweep seeds; E7
-// additionally takes -seeds for the sweep width and exits nonzero if
-// any paper invariant is violated.
+// scenario, E7 sweep base, E8 traffic mix), so CI and local runs can
+// sweep seeds; E7 additionally takes -seeds for the sweep width and
+// exits nonzero if any paper invariant is violated.
 //
 // Usage:
 //
@@ -18,6 +19,7 @@
 //	apna-bench -exp e2 -small     # quick synthetic trace
 //	apna-bench -exp e6 -seed 7    # concurrent multi-flow scenario
 //	apna-bench -exp e7 -seed 1 -seeds 5 -adversaries 2 -json
+//	apna-bench -exp e8 -ases 4 -fwd-workers 8 -json > BENCH_e8.json
 package main
 
 import (
@@ -33,18 +35,21 @@ import (
 
 func main() {
 	var (
-		exp         = flag.String("exp", "all", "experiment: e1, e2, e3 (includes e4), e5, e6, e7, all")
+		exp         = flag.String("exp", "all", "experiment: e1, e2, e3 (includes e4), e5, e6, e7, e8, all")
 		requests    = flag.Int("requests", 500_000, "E1: number of EphID requests")
 		workers     = flag.Int("workers", 4, "E1: parallel issuance workers (paper: 4)")
-		fwdHosts    = flag.Int("hosts", 256, "E3: simulated source hosts")
-		pkts        = flag.Int("pkts", 500_000, "E3: packets per worker")
-		fwdWork     = flag.Int("fwd-workers", runtime.NumCPU(), "E3: forwarding workers (cores)")
+		fwdHosts    = flag.Int("hosts", 256, "E3/E8: simulated source hosts (per AS for E8)")
+		pkts        = flag.Int("pkts", 500_000, "E3/E8: packets per worker")
+		fwdWork     = flag.Int("fwd-workers", runtime.NumCPU(), "E3/E8: forwarding workers (cores)")
 		small       = flag.Bool("small", false, "E2: use a small trace instead of paper scale")
 		oneWay      = flag.Duration("oneway", 25*time.Millisecond, "E5: one-way inter-AS latency")
-		seed        = flag.Int64("seed", 1, "base seed for every seeded experiment (E2, E6, E7)")
+		seed        = flag.Int64("seed", 1, "base seed for every seeded experiment (E2, E6, E7, E8)")
 		seeds       = flag.Int("seeds", 5, "E7: seeds in the sweep (seed, seed+1, ...)")
 		adversaries = flag.Int("adversaries", 2, "E7: number of attackers")
-		jsonOut     = flag.Bool("json", false, "E7: emit one JSON verdict per seed")
+		jsonOut     = flag.Bool("json", false, "E7/E8: emit machine-readable JSON")
+		e8ASes      = flag.Int("ases", 4, "E8: autonomous systems in the ring")
+		e8Batch     = flag.Int("batch", 64, "E8: frames per pipeline batch")
+		e8Bad       = flag.Float64("bad", 0.05, "E8: fraction of adversarial frames")
 	)
 	flag.Parse()
 
@@ -131,6 +136,27 @@ func main() {
 			fmt.Fprintln(os.Stderr, "apna-bench: E7 invariant violations")
 			os.Exit(2)
 		}
+	}
+
+	if run("e8") {
+		cfg := experiments.DefaultE8()
+		cfg.ASes = *e8ASes
+		cfg.HostsPerAS = *fwdHosts
+		cfg.Workers = *fwdWork
+		cfg.BatchSize = *e8Batch
+		cfg.BadFrac = *e8Bad
+		cfg.PacketsPerWorker = *pkts
+		cfg.Seed = *seed
+		fmt.Fprintf(os.Stderr, "engine saturation: %d ASes x %d hosts, %d workers, %d pkts/worker...\n",
+			cfg.ASes, cfg.HostsPerAS, cfg.Workers, cfg.PacketsPerWorker)
+		res, err := experiments.RunE8(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		if err := res.Fprint(os.Stdout, *jsonOut); err != nil {
+			fatal(err)
+		}
+		fmt.Println()
 	}
 }
 

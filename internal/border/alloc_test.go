@@ -1,0 +1,126 @@
+package border
+
+import (
+	"testing"
+
+	"apna/internal/ephid"
+)
+
+// Allocation-regression tests for the forwarding fast path: after one
+// warm-up packet fills the per-worker caches, the steady state must not
+// touch the heap at all — the precondition for "as fast as the hardware
+// allows" forwarding and the property the CI benchmark gate enforces.
+
+func egressFrame(t *testing.T, f *fixture) []byte {
+	t.Helper()
+	var remoteDst ephid.EphID
+	remoteDst[0] = 0xEE
+	return f.hostFrame(t, remoteAID, remoteDst, 0)
+}
+
+func ingressFrame(t *testing.T, f *fixture) []byte {
+	t.Helper()
+	dst := f.sealer.Mint(ephid.Payload{HID: f.hid, ExpTime: uint32(f.now) + 600})
+	return f.hostFrame(t, localAID, dst, 0)
+}
+
+func TestEgressPipelineProcessZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc counts are unreliable under the race detector")
+	}
+	f := newFixture(t)
+	frame := egressFrame(t, f)
+	pipe := f.router.NewEgressPipeline()
+	if v := pipe.Process(frame); v != VerdictForward { // warm caches
+		t.Fatalf("warm-up verdict %v", v)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if v := pipe.Process(frame); v != VerdictForward {
+			t.Fatalf("verdict %v", v)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("EgressPipeline.Process allocates %.1f times per packet", allocs)
+	}
+}
+
+func TestEgressPipelineProcessBatchZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc counts are unreliable under the race detector")
+	}
+	f := newFixture(t)
+	frames := [][]byte{egressFrame(t, f), egressFrame(t, f), egressFrame(t, f)}
+	pipe := f.router.NewEgressPipeline()
+	dst := make([]Verdict, 0, len(frames))
+	dst = pipe.ProcessBatch(frames, dst) // warm caches
+	allocs := testing.AllocsPerRun(200, func() {
+		dst = pipe.ProcessBatch(frames, dst[:0])
+		for _, v := range dst {
+			if v != VerdictForward {
+				t.Fatalf("verdict %v", v)
+			}
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("EgressPipeline.ProcessBatch allocates %.1f times per batch", allocs)
+	}
+}
+
+func TestIngressVerifyZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc counts are unreliable under the race detector")
+	}
+	f := newFixture(t)
+	frame := ingressFrame(t, f)
+	if v, _ := f.router.IngressVerify(frame); v != VerdictForward {
+		t.Fatalf("warm-up verdict %v", v)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if v, _ := f.router.IngressVerify(frame); v != VerdictForward {
+			t.Fatalf("verdict %v", v)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("IngressVerify allocates %.1f times per packet", allocs)
+	}
+}
+
+func TestIngressPipelineProcessBatchZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc counts are unreliable under the race detector")
+	}
+	f := newFixture(t)
+	frames := [][]byte{ingressFrame(t, f), ingressFrame(t, f)}
+	pipe := f.router.NewIngressPipeline()
+	dst := make([]IngressResult, 0, len(frames))
+	dst = pipe.ProcessBatch(frames, dst) // warm caches
+	allocs := testing.AllocsPerRun(200, func() {
+		dst = pipe.ProcessBatch(frames, dst[:0])
+		for _, res := range dst {
+			if res.Verdict != VerdictForward || res.HID != f.hid {
+				t.Fatalf("result %+v", res)
+			}
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("IngressPipeline.ProcessBatch allocates %.1f times per batch", allocs)
+	}
+}
+
+func TestRevocationContainsZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc counts are unreliable under the race detector")
+	}
+	var l RevocationList
+	var e ephid.EphID
+	e[0] = 5
+	l.Insert(e, 1<<30)
+	allocs := testing.AllocsPerRun(200, func() {
+		if !l.Contains(e) {
+			t.Fatal("missing entry")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("RevocationList.Contains allocates %.1f times per lookup", allocs)
+	}
+}

@@ -21,6 +21,7 @@
 package border
 
 import (
+	"maps"
 	"sync"
 	"sync/atomic"
 
@@ -90,6 +91,10 @@ func (v Verdict) String() string {
 
 const verdictCount = 10
 
+// VerdictCount is the number of distinct verdicts, exported so drivers
+// (e.g. the forwarding engine) can size per-verdict counter arrays.
+const VerdictCount = verdictCount
+
 // DropVerdicts lists every drop verdict — all verdicts after
 // VerdictForward. It tracks verdictCount, so reports iterating it pick
 // up newly added verdicts automatically instead of coupling to the
@@ -118,6 +123,17 @@ func (s *Stats) count(v Verdict) { s.counters[v].Add(1) }
 // Get returns the counter for a verdict.
 func (s *Stats) Get(v Verdict) uint64 { return s.counters[v].Load() }
 
+// forwardTables is the immutable route/port snapshot the data plane
+// reads. Mutations (route installs, neighbor/host attachment) build a
+// fresh snapshot and publish it atomically, so per-packet handlers
+// never take a lock — the software analogue of the paper's DPDK cores
+// reading RCU-style FIB copies.
+type forwardTables struct {
+	routes    netsim.Routes
+	asPorts   map[ephid.AID]*netsim.Port // neighbor AID -> external port
+	hostPorts map[ephid.HID]*netsim.Port // local HID -> internal port
+}
+
 // Router is one AS's border router.
 type Router struct {
 	aid    ephid.AID
@@ -129,23 +145,22 @@ type Router struct {
 	ctlCMAC ctlVerifier
 	stats   Stats
 
-	mu        sync.RWMutex
-	routes    netsim.Routes
-	asPorts   map[ephid.AID]*netsim.Port // neighbor AID -> external port
-	hostPorts map[ephid.HID]*netsim.Port // local HID -> internal port
+	mu     sync.Mutex // serializes table mutations only
+	tables atomic.Pointer[forwardTables]
 
-	// icmpSender, when set, is invited to emit ICMP errors for
-	// dropped packets (Section VIII-B). It must not retain frame.
-	icmpSender func(reason Verdict, frame []byte)
+	// icmpSender, when set, is invited to emit ICMP errors for dropped
+	// packets (Section VIII-B). It must not retain frame. Published
+	// atomically: port handlers may be mid-packet when it is installed.
+	icmpSender atomic.Pointer[func(reason Verdict, frame []byte)]
 }
 
 // New creates a border router. now supplies Unix seconds.
 func New(aid ephid.AID, sealer *ephid.Sealer, db *hostdb.DB, secret *crypto.ASSecret, now func() int64) (*Router, error) {
-	r := &Router{
-		aid: aid, sealer: sealer, db: db, now: now,
+	r := &Router{aid: aid, sealer: sealer, db: db, now: now}
+	r.tables.Store(&forwardTables{
 		asPorts:   make(map[ephid.AID]*netsim.Port),
 		hostPorts: make(map[ephid.HID]*netsim.Port),
-	}
+	})
 	if err := r.ctlCMAC.init(secret.InfraControlKey()); err != nil {
 		return nil, err
 	}
@@ -158,14 +173,24 @@ func (r *Router) AID() ephid.AID { return r.aid }
 // Stats exposes the router's counters.
 func (r *Router) Stats() *Stats { return &r.stats }
 
-// SetICMPSender installs the ICMP error hook.
-func (r *Router) SetICMPSender(fn func(reason Verdict, frame []byte)) { r.icmpSender = fn }
+// SetICMPSender installs the ICMP error hook. The hook is published
+// atomically so it can be (re)installed while port handlers are
+// processing packets.
+func (r *Router) SetICMPSender(fn func(reason Verdict, frame []byte)) {
+	if fn == nil {
+		r.icmpSender.Store(nil)
+		return
+	}
+	r.icmpSender.Store(&fn)
+}
 
 // SetRoutes installs the inter-domain next-hop table.
 func (r *Router) SetRoutes(routes netsim.Routes) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.routes = routes
+	t := *r.tables.Load()
+	t.routes = routes
+	r.tables.Store(&t)
 }
 
 // AttachNeighbor binds an external port toward a neighbor AS.
@@ -173,7 +198,10 @@ func (r *Router) AttachNeighbor(aid ephid.AID, p *netsim.Port) {
 	p.Attach(netsim.HandlerFunc(r.handleExternal), "ext:"+aid.String())
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.asPorts[aid] = p
+	t := *r.tables.Load()
+	t.asPorts = maps.Clone(t.asPorts)
+	t.asPorts[aid] = p
+	r.tables.Store(&t)
 }
 
 // AttachHost binds an internal port toward a local host or service.
@@ -181,14 +209,20 @@ func (r *Router) AttachHost(hid ephid.HID, p *netsim.Port) {
 	p.Attach(netsim.HandlerFunc(r.handleInternal), "int:"+hid.String())
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.hostPorts[hid] = p
+	t := *r.tables.Load()
+	t.hostPorts = maps.Clone(t.hostPorts)
+	t.hostPorts[hid] = p
+	r.tables.Store(&t)
 }
 
 // DetachHost removes a host port (host left the network).
 func (r *Router) DetachHost(hid ephid.HID) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	delete(r.hostPorts, hid)
+	t := *r.tables.Load()
+	t.hostPorts = maps.Clone(t.hostPorts)
+	delete(t.hostPorts, hid)
+	r.tables.Store(&t)
 }
 
 // handleInternal processes frames from local hosts: the egress pipeline
@@ -315,9 +349,7 @@ func (r *Router) deliverLocal(frame []byte) Verdict {
 	if v != VerdictForward {
 		return v
 	}
-	r.mu.RLock()
-	port, ok := r.hostPorts[hid]
-	r.mu.RUnlock()
+	port, ok := r.tables.Load().hostPorts[hid]
 	if !ok {
 		return VerdictDropUnknownHost
 	}
@@ -332,9 +364,7 @@ func (r *Router) deliverLocal(frame []byte) Verdict {
 // just-revoked EphID, which could never pass the revocation check that
 // caused them (Section VIII-B).
 func (r *Router) DeliverToHost(hid ephid.HID, frame []byte) bool {
-	r.mu.RLock()
-	port, ok := r.hostPorts[hid]
-	r.mu.RUnlock()
+	port, ok := r.tables.Load().hostPorts[hid]
 	if !ok {
 		return false
 	}
@@ -342,21 +372,31 @@ func (r *Router) DeliverToHost(hid ephid.HID, frame []byte) bool {
 	return true
 }
 
-// forwardInterdomain sends the frame toward the destination AID via the
-// next-hop table.
-func (r *Router) forwardInterdomain(frame []byte) bool {
-	dst := wire.FrameDstAID(frame)
-	r.mu.RLock()
-	nh, ok := r.routes[dst]
+// LookupRoute resolves the external port toward a destination AID using
+// the current table snapshot, without sending anything. It is the
+// transit-stage primitive the parallel forwarding engine drives
+// directly (one table lookup per packet, lock-free).
+func (r *Router) LookupRoute(dst ephid.AID) (*netsim.Port, bool) {
+	t := r.tables.Load()
+	nh, ok := t.routes[dst]
 	if !ok {
 		// Directly connected neighbor without an explicit route.
-		if _, direct := r.asPorts[dst]; direct {
+		if _, direct := t.asPorts[dst]; direct {
 			nh, ok = dst, true
 		}
 	}
-	port := r.asPorts[nh]
-	r.mu.RUnlock()
+	port := t.asPorts[nh]
 	if !ok || port == nil {
+		return nil, false
+	}
+	return port, true
+}
+
+// forwardInterdomain sends the frame toward the destination AID via the
+// next-hop table.
+func (r *Router) forwardInterdomain(frame []byte) bool {
+	port, ok := r.LookupRoute(wire.FrameDstAID(frame))
+	if !ok {
 		return false
 	}
 	port.Send(frame)
@@ -365,7 +405,7 @@ func (r *Router) forwardInterdomain(frame []byte) bool {
 
 func (r *Router) drop(v Verdict, frame []byte) {
 	r.stats.count(v)
-	if r.icmpSender != nil {
-		r.icmpSender(v, frame)
+	if fn := r.icmpSender.Load(); fn != nil {
+		(*fn)(v, frame)
 	}
 }

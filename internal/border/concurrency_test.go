@@ -1,0 +1,151 @@
+package border
+
+import (
+	"testing"
+
+	"apna/internal/ephid"
+	"apna/internal/netsim"
+)
+
+// TestSetICMPSenderConcurrentWithTraffic is the -race regression test
+// for the hook-publication data race: before icmpSender became an
+// atomic pointer, installing the hook while port handlers were dropping
+// packets was a plain unsynchronized write racing a read.
+func TestSetICMPSenderConcurrentWithTraffic(t *testing.T) {
+	f := newFixture(t)
+
+	// A frame that fails MAC verification: dropped at egress, which is
+	// exactly the path that invokes the ICMP hook.
+	var remoteDst ephid.EphID
+	remoteDst[0] = 0xEE
+	bad := f.hostFrame(t, remoteAID, remoteDst, 0)
+	bad[len(bad)-1] ^= 0xff
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 2_000; i++ {
+			f.router.SetICMPSender(func(Verdict, []byte) {})
+			if i%3 == 0 {
+				f.router.SetICMPSender(nil)
+			}
+		}
+	}()
+	for i := 0; i < 2_000; i++ {
+		// Drive drops directly (no simulator events are scheduled for a
+		// dropped frame, so this is safe off the sim goroutine).
+		f.router.handleInternal(bad, nil)
+	}
+	<-done
+
+	if got := f.router.Stats().Get(VerdictDropBadMAC); got != 2_000 {
+		t.Fatalf("bad-MAC drops = %d", got)
+	}
+}
+
+// TestTableMutationConcurrentWithLookups exercises the copy-on-write
+// route/port tables: attach/detach and route swaps from one goroutine
+// must never tear the snapshots read by concurrent lookups.
+func TestTableMutationConcurrentWithLookups(t *testing.T) {
+	f := newFixture(t)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sim := netsim.New(99)
+		for i := 0; i < 1_000; i++ {
+			hid := ephid.HID(1000 + i%8)
+			link := sim.NewLink("churn", 0, 0)
+			f.router.AttachHost(hid, link.A())
+			f.router.SetRoutes(netsim.Routes{remoteAID: remoteAID})
+			f.router.DetachHost(hid)
+		}
+	}()
+	for i := 0; i < 10_000; i++ {
+		if _, ok := f.router.LookupRoute(remoteAID); !ok {
+			t.Error("route to neighbor vanished")
+			break
+		}
+		f.router.DeliverToHost(ephid.HID(1000+i%8), nil)
+	}
+	<-done
+}
+
+// TestEgressPipelineCacheRespectsRevocation pins the open-cache
+// semantics: a cached EphID must still be dropped the moment it is
+// revoked, and a revoked host's key must stop verifying.
+func TestEgressPipelineCacheRespectsRevocation(t *testing.T) {
+	f := newFixture(t)
+	var remoteDst ephid.EphID
+	remoteDst[0] = 0xEE
+	frame := f.hostFrame(t, remoteAID, remoteDst, 0)
+	pipe := f.router.NewEgressPipeline()
+
+	if v := pipe.Process(frame); v != VerdictForward {
+		t.Fatalf("verdict %v", v)
+	}
+	f.router.Revoked().Insert(f.srcID, uint32(f.now)+600)
+	if v := pipe.Process(frame); v != VerdictDropRevoked {
+		t.Fatalf("cached EphID ignored revocation: %v", v)
+	}
+}
+
+// TestEgressPipelineCacheRespectsExpiry pins that cached opens still
+// re-check expiration against the live clock.
+func TestEgressPipelineCacheRespectsExpiry(t *testing.T) {
+	f := newFixture(t)
+	var remoteDst ephid.EphID
+	remoteDst[0] = 0xEE
+	frame := f.hostFrame(t, remoteAID, remoteDst, 0)
+	pipe := f.router.NewEgressPipeline()
+
+	if v := pipe.Process(frame); v != VerdictForward {
+		t.Fatalf("verdict %v", v)
+	}
+	f.now += 3600 // past the EphID's 600 s lifetime
+	if v := pipe.Process(frame); v != VerdictDropExpired {
+		t.Fatalf("cached EphID ignored expiry: %v", v)
+	}
+}
+
+// TestIngressPipelineCacheRespectsRevocation does the same for the
+// ingress path.
+func TestIngressPipelineCacheRespectsRevocation(t *testing.T) {
+	f := newFixture(t)
+	dst := f.sealer.Mint(ephid.Payload{HID: f.hid, ExpTime: uint32(f.now) + 600})
+	frame := f.hostFrame(t, localAID, dst, 0)
+	pipe := f.router.NewIngressPipeline()
+
+	if v, hid := pipe.Process(frame); v != VerdictForward || hid != f.hid {
+		t.Fatalf("verdict %v hid %v", v, hid)
+	}
+	f.router.Revoked().Insert(dst, uint32(f.now)+600)
+	if v, _ := pipe.Process(frame); v != VerdictDropRevoked {
+		t.Fatalf("cached EphID ignored revocation: %v", v)
+	}
+}
+
+// TestProcessBatchMixedVerdicts checks batch processing classifies a
+// mixed batch frame by frame.
+func TestProcessBatchMixedVerdicts(t *testing.T) {
+	f := newFixture(t)
+	var remoteDst ephid.EphID
+	remoteDst[0] = 0xEE
+	good := f.hostFrame(t, remoteAID, remoteDst, 0)
+	badMAC := append([]byte(nil), good...)
+	badMAC[len(badMAC)-1] ^= 0xff
+	malformed := []byte{1, 2, 3}
+	forged := append([]byte(nil), good...)
+	forged[24] ^= 0xff // corrupt the source EphID tag region
+
+	pipe := f.router.NewEgressPipeline()
+	verdicts := pipe.ProcessBatch([][]byte{good, badMAC, malformed, forged}, nil)
+	want := []Verdict{VerdictForward, VerdictDropBadMAC, VerdictDropMalformed, VerdictDropBadEphID}
+	if len(verdicts) != len(want) {
+		t.Fatalf("%d verdicts", len(verdicts))
+	}
+	for i, v := range verdicts {
+		if v != want[i] {
+			t.Errorf("frame %d: verdict %v, want %v", i, v, want[i])
+		}
+	}
+}

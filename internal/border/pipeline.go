@@ -6,19 +6,59 @@ import (
 	"apna/internal/wire"
 )
 
+// openCache memoizes successful Sealer.Open results for one worker.
+// EphID decryption is deterministic, so a hit replaces an AES decrypt
+// plus a CBC-MAC verification with one map lookup — the amortization
+// that makes the steady state per packet "one decryption, two table
+// lookups, and one MAC verification" (Section V-B) or better when flows
+// reuse EphIDs. Expiry and revocation are deliberately NOT cached: both
+// are re-checked per packet against the router's live state, so a
+// cached EphID can still be rejected the moment it expires or lands on
+// the revocation list. Failed opens are never cached (a forger pays the
+// full cryptographic cost every time and cannot poison the cache).
+type openCache struct {
+	m   map[ephid.EphID]ephid.Payload
+	max int
+}
+
+const defaultOpenCacheSize = 4096
+
+func newOpenCache() openCache {
+	return openCache{m: make(map[ephid.EphID]ephid.Payload, defaultOpenCacheSize), max: defaultOpenCacheSize}
+}
+
+// open returns the payload for e, consulting the cache first.
+func (c *openCache) open(s *ephid.Sealer, e ephid.EphID) (ephid.Payload, bool) {
+	if p, ok := c.m[e]; ok {
+		return p, true
+	}
+	p, err := s.Open(e)
+	if err != nil {
+		return ephid.Payload{}, false
+	}
+	if len(c.m) >= c.max {
+		// Wholesale reset: cheaper and allocation-free compared to LRU
+		// bookkeeping, and a full cache means EphID churn anyway.
+		clear(c.m)
+	}
+	c.m[e] = p
+	return p, true
+}
+
 // EgressPipeline is a per-worker egress fast path. The paper's DPDK
 // prototype dedicates cores to forwarding (Section V-B2); the benchmark
-// equivalent here is one EgressPipeline per core. Each pipeline caches
-// the AES-CMAC key schedules of the hosts it has seen, so the steady
-// state per packet is: one EphID decrypt+verify, one revocation-list
-// lookup, one host_info lookup, one CMAC verification — exactly the
-// "one decryption, two table lookups, and one MAC verification" the
-// paper counts.
+// equivalent here is one EgressPipeline per core (internal/engine wires
+// one per worker). Each pipeline caches the AES-CMAC key schedules of
+// the hosts it has seen and the decrypted payloads of the EphIDs it has
+// seen, so the steady state per packet is: one cached EphID lookup (or
+// one decrypt on miss), one revocation-list lookup, one host_info
+// lookup — both lock-free — and one CMAC verification.
 //
 // A pipeline is not safe for concurrent use; create one per worker.
 type EgressPipeline struct {
-	r    *Router
-	macs map[ephid.HID]*cachedMAC
+	r     *Router
+	macs  map[ephid.HID]*cachedMAC
+	opens openCache
 }
 
 type cachedMAC struct {
@@ -28,18 +68,28 @@ type cachedMAC struct {
 
 // NewEgressPipeline creates a worker pipeline for the router.
 func (r *Router) NewEgressPipeline() *EgressPipeline {
-	return &EgressPipeline{r: r, macs: make(map[ephid.HID]*cachedMAC)}
+	return &EgressPipeline{
+		r:     r,
+		macs:  make(map[ephid.HID]*cachedMAC),
+		opens: newOpenCache(),
+	}
 }
 
 // Process runs the outgoing-packet checks of Figure 4 (bottom) on one
 // frame.
 func (p *EgressPipeline) Process(frame []byte) Verdict {
+	return p.process(frame, p.r.now())
+}
+
+// process is Process with the clock hoisted out, so batches read the
+// clock once.
+func (p *EgressPipeline) process(frame []byte, now int64) Verdict {
 	r := p.r
-	pl, err := r.sealer.Open(wire.FrameSrcEphID(frame))
-	if err != nil {
+	pl, ok := p.opens.open(r.sealer, wire.FrameSrcEphID(frame))
+	if !ok {
 		return VerdictDropBadEphID
 	}
-	if pl.Expired(r.now()) {
+	if pl.Expired(now) {
 		return VerdictDropExpired
 	}
 	if r.revoked.Contains(wire.FrameSrcEphID(frame)) {
@@ -64,19 +114,84 @@ func (p *EgressPipeline) Process(frame []byte) Verdict {
 	return VerdictForward
 }
 
+// ProcessBatch runs the egress checks over a batch of frames, appending
+// one verdict per frame to dst and returning the extended slice. The
+// batch amortizes the clock read, and the pipeline's EphID-open and
+// CMAC key-schedule caches turn repeated senders within the batch into
+// pure lookups. With cap(dst) >= len(dst)+len(frames) the call does not
+// allocate.
+func (p *EgressPipeline) ProcessBatch(frames [][]byte, dst []Verdict) []Verdict {
+	now := p.r.now()
+	for _, frame := range frames {
+		if !wire.ValidFrame(frame) {
+			dst = append(dst, VerdictDropMalformed)
+			continue
+		}
+		dst = append(dst, p.process(frame, now))
+	}
+	return dst
+}
+
+// IngressResult pairs an ingress verdict with the destination HID the
+// frame decrypted to (valid only when the verdict is VerdictForward).
+type IngressResult struct {
+	Verdict Verdict
+	HID     ephid.HID
+}
+
 // IngressPipeline is the per-worker ingress fast path: destination
 // EphID decrypt+validate plus the host table lookup (Figure 4, top).
+// Like EgressPipeline it caches EphID opens, so the steady state per
+// packet is one cached lookup, one revocation check and one host_info
+// check, all lock-free.
+//
+// A pipeline is not safe for concurrent use; create one per worker.
 type IngressPipeline struct {
-	r *Router
+	r     *Router
+	opens openCache
 }
 
 // NewIngressPipeline creates a worker pipeline for the router.
 func (r *Router) NewIngressPipeline() *IngressPipeline {
-	return &IngressPipeline{r: r}
+	return &IngressPipeline{r: r, opens: newOpenCache()}
 }
 
 // Process runs the incoming-packet checks on one frame, returning the
 // verdict and the destination HID on success.
 func (p *IngressPipeline) Process(frame []byte) (Verdict, ephid.HID) {
-	return p.r.IngressVerify(frame)
+	res := p.process(frame, p.r.now())
+	return res.Verdict, res.HID
+}
+
+func (p *IngressPipeline) process(frame []byte, now int64) IngressResult {
+	r := p.r
+	pl, ok := p.opens.open(r.sealer, wire.FrameDstEphID(frame))
+	if !ok {
+		return IngressResult{Verdict: VerdictDropBadEphID}
+	}
+	if pl.Expired(now) {
+		return IngressResult{Verdict: VerdictDropExpired}
+	}
+	if r.revoked.Contains(wire.FrameDstEphID(frame)) {
+		return IngressResult{Verdict: VerdictDropRevoked}
+	}
+	if !r.db.Valid(pl.HID) {
+		return IngressResult{Verdict: VerdictDropUnknownHost}
+	}
+	return IngressResult{Verdict: VerdictForward, HID: pl.HID}
+}
+
+// ProcessBatch runs the ingress checks over a batch of frames, appending
+// one result per frame to dst and returning the extended slice. With
+// cap(dst) >= len(dst)+len(frames) the call does not allocate.
+func (p *IngressPipeline) ProcessBatch(frames [][]byte, dst []IngressResult) []IngressResult {
+	now := p.r.now()
+	for _, frame := range frames {
+		if !wire.ValidFrame(frame) {
+			dst = append(dst, IngressResult{Verdict: VerdictDropMalformed})
+			continue
+		}
+		dst = append(dst, p.process(frame, now))
+	}
+	return dst
 }

@@ -1,0 +1,7 @@
+//go:build race
+
+package border
+
+// raceEnabled reports whether the race detector is compiled in; alloc
+// assertions are skipped under it (instrumentation allocates).
+const raceEnabled = true

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"sync"
+	"sync/atomic"
 
 	"apna/internal/crypto"
 	"apna/internal/ephid"
@@ -14,26 +15,47 @@ import (
 // expired entries can be garbage collected: packets with expired EphIDs
 // are dropped by the expiry check anyway, so keeping them on the list
 // buys nothing (Section VIII-G2).
+//
+// The per-packet read path (Contains) is lock-free: each shard is an
+// immutable map published through an atomic pointer, copy-on-written by
+// the rare control-plane mutations (revocation orders, GC). Sharding by
+// the EphID's first byte (uniform: EphIDs are ciphertext) keeps the
+// copy-on-write cost of a single insert proportional to one shard.
 type RevocationList struct {
-	mu      sync.RWMutex
-	entries map[ephid.EphID]uint32 // EphID -> its ExpTime
+	mu     sync.Mutex // serializes writers
+	shards [revShards]atomic.Pointer[map[ephid.EphID]uint32]
+}
+
+const revShards = 64
+
+func (l *RevocationList) shardFor(e ephid.EphID) *atomic.Pointer[map[ephid.EphID]uint32] {
+	return &l.shards[e[0]%revShards]
+}
+
+func snapshotOf(p *atomic.Pointer[map[ephid.EphID]uint32]) map[ephid.EphID]uint32 {
+	if m := p.Load(); m != nil {
+		return *m
+	}
+	return nil
 }
 
 // Insert adds an EphID with its expiration time.
 func (l *RevocationList) Insert(e ephid.EphID, expTime uint32) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if l.entries == nil {
-		l.entries = make(map[ephid.EphID]uint32)
+	p := l.shardFor(e)
+	old := snapshotOf(p)
+	next := make(map[ephid.EphID]uint32, len(old)+1)
+	for k, v := range old {
+		next[k] = v
 	}
-	l.entries[e] = expTime
+	next[e] = expTime
+	p.Store(&next)
 }
 
-// Contains reports whether e is revoked.
+// Contains reports whether e is revoked. Lock-free.
 func (l *RevocationList) Contains(e ephid.EphID) bool {
-	l.mu.RLock()
-	defer l.mu.RUnlock()
-	_, ok := l.entries[e]
+	_, ok := snapshotOf(l.shardFor(e))[e]
 	return ok
 }
 
@@ -43,20 +65,37 @@ func (l *RevocationList) GC(nowUnix int64) int {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	n := 0
-	for e, exp := range l.entries {
-		if int64(exp) < nowUnix {
-			delete(l.entries, e)
-			n++
+	for i := range l.shards {
+		p := &l.shards[i]
+		old := snapshotOf(p)
+		removed := 0
+		for _, exp := range old {
+			if int64(exp) < nowUnix {
+				removed++
+			}
 		}
+		if removed == 0 {
+			continue
+		}
+		next := make(map[ephid.EphID]uint32, len(old)-removed)
+		for e, exp := range old {
+			if int64(exp) >= nowUnix {
+				next[e] = exp
+			}
+		}
+		p.Store(&next)
+		n += removed
 	}
 	return n
 }
 
 // Len reports the number of revoked EphIDs currently tracked.
 func (l *RevocationList) Len() int {
-	l.mu.RLock()
-	defer l.mu.RUnlock()
-	return len(l.entries)
+	n := 0
+	for i := range l.shards {
+		n += len(snapshotOf(&l.shards[i]))
+	}
+	return n
 }
 
 // RevocationOrder is the authenticated "revoke EphID_s" instruction the

@@ -1,0 +1,115 @@
+package engine
+
+import (
+	"encoding/json"
+	"testing"
+
+	"apna/internal/pktgen"
+)
+
+func testWorld(t *testing.T, badFrac float64) *pktgen.World {
+	t.Helper()
+	w, err := pktgen.NewWorld(pktgen.WorldConfig{
+		ASes: 3, HostsPerAS: 16, FrameSize: 256,
+		FramesPerLane: 128, BadFrac: badFrac, Seed: 42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestRunCleanWorldDeliversEverything(t *testing.T) {
+	w := testWorld(t, 0)
+	rep, err := Run(w, Config{Workers: 2, BatchSize: 32, PacketsPerWorker: 5_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Packets == 0 {
+		t.Fatal("no packets processed")
+	}
+	if rep.Delivered != rep.Packets {
+		t.Fatalf("delivered %d of %d clean packets (verdicts %v)",
+			rep.Delivered, rep.Packets, rep.Verdicts)
+	}
+	if rep.Dropped != 0 {
+		t.Fatalf("dropped %d clean packets", rep.Dropped)
+	}
+	if rep.PPS <= 0 {
+		t.Fatalf("pps %v", rep.PPS)
+	}
+	for _, stage := range []string{"egress", "transit", "ingress"} {
+		s, ok := rep.Stages[stage]
+		if !ok {
+			t.Fatalf("missing stage %q", stage)
+		}
+		if s.Samples == 0 || s.P50 <= 0 || s.P99 < s.P50 || s.Max < s.P99 {
+			t.Fatalf("stage %q stats inconsistent: %+v", stage, s)
+		}
+	}
+}
+
+func TestRunBadTrafficIsDropped(t *testing.T) {
+	w := testWorld(t, 0.3)
+	rep, err := Run(w, Config{Workers: 2, BatchSize: 32, PacketsPerWorker: 5_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Dropped == 0 {
+		t.Fatal("expected drops with 30% bad traffic")
+	}
+	if rep.Delivered == 0 {
+		t.Fatal("expected some deliveries with 70% clean traffic")
+	}
+	drops := uint64(0)
+	for name, n := range rep.Verdicts {
+		if name != "forward" {
+			drops += n
+		}
+	}
+	if drops != rep.Dropped {
+		t.Fatalf("verdict drops %d != dropped %d", drops, rep.Dropped)
+	}
+}
+
+// TestRunScalesAcrossWorkers is a smoke check that more workers process
+// the same per-worker budget, i.e. total packets grow linearly.
+func TestRunScalesAcrossWorkers(t *testing.T) {
+	w := testWorld(t, 0)
+	one, err := Run(w, Config{Workers: 1, BatchSize: 32, PacketsPerWorker: 2_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	four, err := Run(w, Config{Workers: 4, BatchSize: 32, PacketsPerWorker: 2_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if four.Packets != 4*one.Packets {
+		t.Fatalf("1 worker: %d packets, 4 workers: %d", one.Packets, four.Packets)
+	}
+}
+
+func TestReportJSONRoundTrip(t *testing.T) {
+	w := testWorld(t, 0.1)
+	rep, err := Run(w, Config{Workers: 1, BatchSize: 16, PacketsPerWorker: 1_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Packets != rep.Packets || back.PPS != rep.PPS {
+		t.Fatal("report did not survive a JSON round trip")
+	}
+}
+
+func TestRunEmptyWorldErrors(t *testing.T) {
+	if _, err := Run(&pktgen.World{}, Config{}); err == nil {
+		t.Fatal("expected error for empty world")
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 	"sync/atomic"
 
 	"apna/internal/crypto"
@@ -101,27 +102,48 @@ func (s *Sealer) mintWithIV(p Payload, iv [ivLen]byte) EphID {
 	return e
 }
 
+// openScratch owns every block that would otherwise escape to the heap
+// through the cipher.Block interface calls inside Open. Instances are
+// pooled, making the steady-state Open — one per packet on the border
+// router fast path — allocation free.
+type openScratch struct {
+	macIn   [aes.BlockSize]byte
+	tagFull [aes.BlockSize]byte
+	counter [aes.BlockSize]byte
+	ks      [aes.BlockSize]byte
+	pt      [ctLen]byte
+}
+
+var openScratchPool = sync.Pool{New: func() any { return new(openScratch) }}
+
 // Open verifies and decrypts an EphID, returning its payload. It
 // performs the Encrypt-then-MAC verification first (constant time), then
-// decrypts — never touching the plaintext of a forged token.
+// decrypts — never touching the plaintext of a forged token. The
+// steady state does not allocate.
 //
 // Open does not check expiration; border routers and services check it
 // against their own clock (see Payload.Expired) so that the decision
 // uses one consistent notion of time per call site.
 func (s *Sealer) Open(e EphID) (Payload, error) {
-	var macIn [aes.BlockSize]byte
-	copy(macIn[:ivLen], e[ivOff:ivOff+ivLen])
-	copy(macIn[ivLen+4:], e[ctOff:ctOff+ctLen])
-	if !s.mac.Verify(e[tagOff:tagOff+tagLen], macIn[:]) {
+	sc := openScratchPool.Get().(*openScratch)
+	p, err := s.openWith(e, sc)
+	openScratchPool.Put(sc)
+	return p, err
+}
+
+func (s *Sealer) openWith(e EphID, sc *openScratch) (Payload, error) {
+	copy(sc.macIn[:ivLen], e[ivOff:ivOff+ivLen])
+	clear(sc.macIn[ivLen : ivLen+4])
+	copy(sc.macIn[ivLen+4:], e[ctOff:ctOff+ctLen])
+	if !s.mac.VerifyInto(e[tagOff:tagOff+tagLen], sc.macIn[:], &sc.tagFull) {
 		return Payload{}, ErrBadTag
 	}
 
-	var counter [aes.BlockSize]byte
-	copy(counter[:ivLen], e[ivOff:ivOff+ivLen])
-	var pt [ctLen]byte
-	copy(pt[:], e[ctOff:ctOff+ctLen])
-	s.enc.XORKeystream(pt[:], &counter)
-	return decodePlain(&pt), nil
+	copy(sc.counter[:ivLen], e[ivOff:ivOff+ivLen])
+	clear(sc.counter[ivLen:])
+	copy(sc.pt[:], e[ctOff:ctOff+ctLen])
+	s.enc.XORKeystreamInto(sc.pt[:], &sc.counter, &sc.ks)
+	return decodePlain(&sc.pt), nil
 }
 
 // OpenValid is Open plus an expiration check against nowUnix. It is the

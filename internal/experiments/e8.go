@@ -1,0 +1,23 @@
+package experiments
+
+import "apna/internal/engine"
+
+// Experiment E8: multi-AS data-plane saturation by the parallel
+// forwarding engine — the repo's first experiment that exercises the
+// forwarding path on real cores instead of the single-threaded
+// simulator, mirroring the paper's dedicated DPDK forwarding cores
+// (Section V-B2). The implementation lives in internal/engine (the
+// facade also fronts it, as apna.Throughput, and cannot import this
+// package); these aliases keep the one-name-per-experiment convention.
+
+// E8Config sizes the saturation run.
+type E8Config = engine.SaturationConfig
+
+// E8Result is the run's report — the BENCH_e8.json shape.
+type E8Result = engine.SaturationResult
+
+// DefaultE8 returns the standard E8 configuration.
+func DefaultE8() E8Config { return engine.DefaultSaturation() }
+
+// RunE8 builds the multi-AS world and saturates it.
+func RunE8(cfg E8Config) (*E8Result, error) { return engine.Saturate(cfg) }

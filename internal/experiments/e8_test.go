@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestRunE8SmallAndJSONShape(t *testing.T) {
+	cfg := DefaultE8()
+	cfg.ASes = 2
+	cfg.HostsPerAS = 8
+	cfg.FramesPerLane = 64
+	cfg.Workers = 2
+	cfg.PacketsPerWorker = 2_000
+	cfg.BadFrac = 0.2
+
+	res, err := RunE8(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Experiment != "e8" {
+		t.Fatalf("experiment %q", res.Experiment)
+	}
+	if res.Report.Packets != 4_000 {
+		t.Fatalf("packets %d", res.Report.Packets)
+	}
+	if res.Report.Dropped == 0 {
+		t.Fatal("expected drops with 20% bad traffic")
+	}
+
+	// The JSON artifact must carry the BENCH_e8.json essentials.
+	data, err := res.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	rep, ok := m["report"].(map[string]any)
+	if !ok {
+		t.Fatal("missing report object")
+	}
+	for _, key := range []string{"pps", "workers", "verdicts", "stages", "delivered", "dropped"} {
+		if _, ok := rep[key]; !ok {
+			t.Errorf("report JSON missing %q", key)
+		}
+	}
+	stages, _ := rep["stages"].(map[string]any)
+	for _, stage := range []string{"egress", "transit", "ingress"} {
+		if _, ok := stages[stage]; !ok {
+			t.Errorf("stages JSON missing %q", stage)
+		}
+	}
+
+	// Human rendering mentions the headline numbers.
+	var buf bytes.Buffer
+	if err := res.Fprint(&buf, false); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"E8", "Mpps", "egress", "transit", "ingress", "verdicts"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q", want)
+		}
+	}
+}

@@ -271,6 +271,12 @@ func (h *Host) Inbox() []Message {
 	return m
 }
 
+// framePool recycles encode buffers across sends from every host
+// stack: netsim links copy frames at send time, so a buffer is free for
+// reuse the moment Port.Send returns and the steady-state send path
+// does not allocate per packet.
+var framePool wire.FramePool
+
 // send builds, MACs and transmits one packet.
 func (h *Host) send(proto wire.NextProto, flags uint8, src ephid.EphID, dst wire.Endpoint, payload []byte) error {
 	if h.port == nil {
@@ -286,12 +292,15 @@ func (h *Host) send(proto wire.NextProto, flags uint8, src ephid.EphID, dst wire
 		},
 		Payload: payload,
 	}
-	frame, err := p.Encode()
+	buf := framePool.Get(wire.HeaderSize + len(payload))
+	frame, err := p.AppendTo(buf)
 	if err != nil {
+		framePool.Put(buf)
 		return err
 	}
 	h.mac.Apply(frame)
 	h.port.Send(frame)
+	framePool.Put(frame)
 	h.stats.Sent++
 	return nil
 }

@@ -1,0 +1,214 @@
+package hostdb
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"apna/internal/crypto"
+	"apna/internal/ephid"
+)
+
+// keyFor derives the deterministic key material a concurrent reader can
+// validate against: any MACKey result for hid must equal keyFor(hid) —
+// a torn entry would mix bytes from two publications.
+func keyFor(hid ephid.HID) crypto.HostASKeys {
+	return crypto.DeriveHostASKeys([]byte{byte(hid), byte(hid >> 8), 0xAB})
+}
+
+// TestConcurrentReadersAndWriters hammers the lock-free read path with
+// parallel Get/MACKey/EncKey/Valid/Range while writers Put, Revoke,
+// AddStrike and Delete the same HIDs, verifying readers never observe a
+// torn entry (mismatched keys) or an impossible state.
+func TestConcurrentReadersAndWriters(t *testing.T) {
+	db := New()
+	const hids = 128
+	for i := 0; i < hids; i++ {
+		hid := ephid.HID(i + 1)
+		db.Put(Entry{HID: hid, Keys: keyFor(hid), RegisteredAt: 1})
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Writers: churn entries through every mutation.
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				hid := ephid.HID(i%hids + 1)
+				switch (i + w) % 4 {
+				case 0:
+					db.Put(Entry{HID: hid, Keys: keyFor(hid), RegisteredAt: 1})
+				case 1:
+					db.Revoke(hid)
+				case 2:
+					_, _ = db.AddStrike(hid)
+				case 3:
+					db.Delete(hid)
+					db.Put(Entry{HID: hid, Keys: keyFor(hid), RegisteredAt: 1})
+				}
+			}
+		}(w)
+	}
+
+	// Readers: every lookup must be internally consistent.
+	readErr := make(chan string, 16)
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				hid := ephid.HID(i%hids + 1)
+				want := keyFor(hid)
+				if key, err := db.MACKey(hid); err == nil && key != want.MAC {
+					select {
+					case readErr <- "MACKey returned a torn key":
+					default:
+					}
+					return
+				} else if err != nil && !errors.Is(err, ErrUnknownHost) && !errors.Is(err, ErrRevoked) {
+					select {
+					case readErr <- "MACKey returned unexpected error: " + err.Error():
+					default:
+					}
+					return
+				}
+				if key, err := db.EncKey(hid); err == nil && key != want.Enc {
+					select {
+					case readErr <- "EncKey returned a torn key":
+					default:
+					}
+					return
+				}
+				if e, err := db.Get(hid); err == nil {
+					if e.HID != hid || e.Keys != want {
+						select {
+						case readErr <- "Get returned a torn entry":
+						default:
+						}
+						return
+					}
+					if e.Status != StatusActive && e.Status != StatusRevoked {
+						select {
+						case readErr <- "Get returned an impossible status":
+						default:
+						}
+						return
+					}
+				}
+				db.Valid(hid)
+				if i%64 == 0 {
+					db.Range(func(e Entry) bool { return e.Keys == keyFor(e.HID) })
+					_ = db.Len()
+				}
+			}
+		}(r)
+	}
+
+	// Let the storm run a bounded number of scheduler quanta.
+	for i := 0; i < 50; i++ {
+		select {
+		case msg := <-readErr:
+			close(stop)
+			wg.Wait()
+			t.Fatal(msg)
+		default:
+		}
+		// A tiny sleep keeps the test quick while letting goroutines
+		// interleave even on GOMAXPROCS=1.
+		time.Sleep(500 * time.Microsecond)
+	}
+	close(stop)
+	wg.Wait()
+	select {
+	case msg := <-readErr:
+		t.Fatal(msg)
+	default:
+	}
+
+	// After the dust settles every HID must still resolve consistently.
+	alive := 0
+	db.Range(func(e Entry) bool {
+		if e.Keys != keyFor(e.HID) {
+			t.Fatalf("final state torn for HID %v", e.HID)
+		}
+		alive++
+		return true
+	})
+	if alive == 0 {
+		t.Fatal("all entries vanished")
+	}
+}
+
+// TestRevokeVisibleToConcurrentReaders checks the publication ordering:
+// once Revoke returns, no reader may see the host as active.
+func TestRevokeVisibleToConcurrentReaders(t *testing.T) {
+	db := New()
+	hid := ephid.HID(9)
+	db.Put(Entry{HID: hid, Keys: keyFor(hid)})
+	db.Revoke(hid)
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1_000; i++ {
+				if db.Valid(hid) {
+					t.Error("revoked host reported valid")
+					return
+				}
+				if _, err := db.MACKey(hid); !errors.Is(err, ErrRevoked) {
+					t.Errorf("MACKey after revoke: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestPutBatchMatchesPut pins batched insertion against the singular
+// path.
+func TestPutBatchMatchesPut(t *testing.T) {
+	a, b := New(), New()
+	entries := make([]Entry, 0, 300)
+	for i := 0; i < 300; i++ {
+		hid := ephid.HID(i + 1)
+		e := Entry{HID: hid, Keys: keyFor(hid), Strikes: i % 3, RegisteredAt: int64(i)}
+		entries = append(entries, e)
+		a.Put(e)
+	}
+	b.PutBatch(entries)
+	if a.Len() != b.Len() {
+		t.Fatalf("Len %d vs %d", a.Len(), b.Len())
+	}
+	for _, e := range entries {
+		ea, errA := a.Get(e.HID)
+		eb, errB := b.Get(e.HID)
+		if errA != nil || errB != nil {
+			t.Fatalf("Get(%v): %v / %v", e.HID, errA, errB)
+		}
+		if ea.Keys != eb.Keys || ea.Strikes != eb.Strikes || ea.RegisteredAt != eb.RegisteredAt {
+			t.Fatalf("entry %v differs between Put and PutBatch", e.HID)
+		}
+	}
+	// Batch replacement of existing entries must also take effect.
+	entries[0].Strikes = 99
+	b.PutBatch(entries[:1])
+	if e, _ := b.Get(entries[0].HID); e.Strikes != 99 {
+		t.Fatal("PutBatch did not replace an existing entry")
+	}
+}

@@ -5,12 +5,20 @@
 // It maps a host's HID to the symmetric keys the host shares with the AS
 // and to the host's standing (active or revoked). Border routers consult
 // it on every outgoing packet to fetch the MAC key (Figure 4), so the
-// store is sharded for concurrent access from many forwarding workers.
+// read path must not contend with other forwarding workers: each shard
+// publishes an immutable map of immutable entries through an atomic
+// pointer, making steady-state lookups (MACKey, EncKey, Valid, Get)
+// entirely lock-free. Mutations serialize on a per-shard mutex,
+// copy-on-write the shard map (entry-status changes swap a per-entry
+// pointer without cloning the map), and publish the new snapshot
+// atomically — readers always observe either the old or the new entry,
+// never a torn one.
 package hostdb
 
 import (
 	"errors"
 	"sync"
+	"sync/atomic"
 
 	"apna/internal/crypto"
 	"apna/internal/ephid"
@@ -35,7 +43,8 @@ var (
 	ErrRevoked     = errors.New("hostdb: HID revoked")
 )
 
-// Entry is the per-host record.
+// Entry is the per-host record. Entries handed to Put are copied;
+// entries inside the database are immutable once published.
 type Entry struct {
 	HID ephid.HID
 	// Keys are the symmetric keys shared between the host and the AS
@@ -55,10 +64,22 @@ type Entry struct {
 
 const shardCount = 64
 
-type shard struct {
-	mu      sync.RWMutex
-	entries map[ephid.HID]*Entry
+// holder is the stable per-HID cell. The shard map points at holders,
+// so a status change (Revoke, AddStrike) swaps the holder's entry
+// pointer and never clones the map.
+type holder struct {
+	e atomic.Pointer[Entry]
 }
+
+type shardMap map[ephid.HID]*holder
+
+type shard struct {
+	mu sync.Mutex // serializes writers only
+	m  atomic.Pointer[shardMap]
+}
+
+// load returns the shard's current snapshot (never nil after New).
+func (s *shard) load() shardMap { return *s.m.Load() }
 
 // DB is the sharded host database. The zero value is not usable; call
 // New.
@@ -70,7 +91,8 @@ type DB struct {
 func New() *DB {
 	db := &DB{}
 	for i := range db.shards {
-		db.shards[i].entries = make(map[ephid.HID]*Entry)
+		m := make(shardMap)
+		db.shards[i].m.Store(&m)
 	}
 	return db
 }
@@ -79,37 +101,105 @@ func (db *DB) shardFor(hid ephid.HID) *shard {
 	return &db.shards[uint32(hid)%shardCount]
 }
 
+// clone copies a shard map so a writer can extend it without touching
+// the published snapshot.
+func (m shardMap) clone(extra int) shardMap {
+	out := make(shardMap, len(m)+extra)
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// deepCopy returns a value copy whose HostPub does not alias the
+// original: published entries are immutable and must never be
+// reachable through a caller-held slice.
+func deepCopy(e Entry) Entry {
+	e.HostPub = append([]byte(nil), e.HostPub...)
+	return e
+}
+
+func copyEntry(e Entry) *Entry {
+	copied := deepCopy(e)
+	return &copied
+}
+
 // Put inserts or replaces the entry for a host.
 func (db *DB) Put(e Entry) {
 	s := db.shardFor(e.HID)
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	copied := e
-	copied.HostPub = append([]byte(nil), e.HostPub...)
-	s.entries[e.HID] = &copied
+	m := s.load()
+	if h, ok := m[e.HID]; ok {
+		h.e.Store(copyEntry(e))
+		return
+	}
+	next := m.clone(1)
+	h := &holder{}
+	h.e.Store(copyEntry(e))
+	next[e.HID] = h
+	s.m.Store(&next)
 }
 
-// Get returns a copy of the entry for hid.
-func (db *DB) Get(hid ephid.HID) (Entry, error) {
-	s := db.shardFor(hid)
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	e, ok := s.entries[hid]
+// PutBatch inserts or replaces many entries with one snapshot swap per
+// shard — the bootstrap path for experiments that register thousands of
+// hosts, where per-Put map cloning would be quadratic.
+func (db *DB) PutBatch(entries []Entry) {
+	// Group by shard index first so each shard is cloned at most once.
+	var byShard [shardCount][]Entry
+	for _, e := range entries {
+		i := uint32(e.HID) % shardCount
+		byShard[i] = append(byShard[i], e)
+	}
+	for i := range byShard {
+		batch := byShard[i]
+		if len(batch) == 0 {
+			continue
+		}
+		s := &db.shards[i]
+		s.mu.Lock()
+		next := s.load().clone(len(batch))
+		for _, e := range batch {
+			if h, ok := next[e.HID]; ok {
+				h.e.Store(copyEntry(e))
+				continue
+			}
+			h := &holder{}
+			h.e.Store(copyEntry(e))
+			next[e.HID] = h
+		}
+		s.m.Store(&next)
+		s.mu.Unlock()
+	}
+}
+
+// get returns the published entry for hid, or nil. Lock-free.
+func (db *DB) get(hid ephid.HID) *Entry {
+	h, ok := db.shardFor(hid).load()[hid]
 	if !ok {
+		return nil
+	}
+	return h.e.Load()
+}
+
+// Get returns a copy of the entry for hid. The copy is deep (HostPub
+// included): published entries are immutable and must not be reachable
+// through a caller-held slice.
+func (db *DB) Get(hid ephid.HID) (Entry, error) {
+	e := db.get(hid)
+	if e == nil {
 		return Entry{}, ErrUnknownHost
 	}
-	return *e, nil
+	return deepCopy(*e), nil
 }
 
 // MACKey returns the per-packet MAC key for an active host. It is the
 // border router's per-packet lookup: unknown and revoked HIDs fail,
-// which is exactly the "HID is valid" check of Figure 4.
+// which is exactly the "HID is valid" check of Figure 4. The lookup is
+// lock-free.
 func (db *DB) MACKey(hid ephid.HID) ([crypto.SymKeySize]byte, error) {
-	s := db.shardFor(hid)
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	e, ok := s.entries[hid]
-	if !ok {
+	e := db.get(hid)
+	if e == nil {
 		return [crypto.SymKeySize]byte{}, ErrUnknownHost
 	}
 	if e.Status == StatusRevoked {
@@ -119,13 +209,10 @@ func (db *DB) MACKey(hid ephid.HID) ([crypto.SymKeySize]byte, error) {
 }
 
 // EncKey returns the control-message encryption key for an active host
-// (used by the MS to decrypt EphID requests, Figure 3).
+// (used by the MS to decrypt EphID requests, Figure 3). Lock-free.
 func (db *DB) EncKey(hid ephid.HID) ([crypto.SymKeySize]byte, error) {
-	s := db.shardFor(hid)
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	e, ok := s.entries[hid]
-	if !ok {
+	e := db.get(hid)
+	if e == nil {
 		return [crypto.SymKeySize]byte{}, ErrUnknownHost
 	}
 	if e.Status == StatusRevoked {
@@ -134,13 +221,10 @@ func (db *DB) EncKey(hid ephid.HID) ([crypto.SymKeySize]byte, error) {
 	return e.Keys.Enc, nil
 }
 
-// Valid reports whether hid is registered and not revoked.
+// Valid reports whether hid is registered and not revoked. Lock-free.
 func (db *DB) Valid(hid ephid.HID) bool {
-	s := db.shardFor(hid)
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	e, ok := s.entries[hid]
-	return ok && e.Status == StatusActive
+	e := db.get(hid)
+	return e != nil && e.Status == StatusActive
 }
 
 // Revoke marks a host revoked. Unknown HIDs are ignored.
@@ -148,8 +232,10 @@ func (db *DB) Revoke(hid ephid.HID) {
 	s := db.shardFor(hid)
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if e, ok := s.entries[hid]; ok {
-		e.Status = StatusRevoked
+	if h, ok := s.load()[hid]; ok {
+		next := *h.e.Load()
+		next.Status = StatusRevoked
+		h.e.Store(&next)
 	}
 }
 
@@ -158,12 +244,14 @@ func (db *DB) AddStrike(hid ephid.HID) (int, error) {
 	s := db.shardFor(hid)
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	e, ok := s.entries[hid]
+	h, ok := s.load()[hid]
 	if !ok {
 		return 0, ErrUnknownHost
 	}
-	e.Strikes++
-	return e.Strikes, nil
+	next := *h.e.Load()
+	next.Strikes++
+	h.e.Store(&next)
+	return next.Strikes, nil
 }
 
 // Delete removes a host entirely (used when an AS reassigns a HID,
@@ -172,33 +260,30 @@ func (db *DB) Delete(hid ephid.HID) {
 	s := db.shardFor(hid)
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	delete(s.entries, hid)
+	m := s.load()
+	if _, ok := m[hid]; !ok {
+		return
+	}
+	next := m.clone(0)
+	delete(next, hid)
+	s.m.Store(&next)
 }
 
 // Len returns the number of registered hosts.
 func (db *DB) Len() int {
 	n := 0
 	for i := range db.shards {
-		s := &db.shards[i]
-		s.mu.RLock()
-		n += len(s.entries)
-		s.mu.RUnlock()
+		n += len(db.shards[i].load())
 	}
 	return n
 }
 
-// Range calls fn for every entry (copy) until fn returns false.
+// Range calls fn for every entry (deep copy, like Get) until fn
+// returns false. It iterates a point-in-time snapshot of each shard.
 func (db *DB) Range(fn func(Entry) bool) {
 	for i := range db.shards {
-		s := &db.shards[i]
-		s.mu.RLock()
-		entries := make([]Entry, 0, len(s.entries))
-		for _, e := range s.entries {
-			entries = append(entries, *e)
-		}
-		s.mu.RUnlock()
-		for _, e := range entries {
-			if !fn(e) {
+		for _, h := range db.shards[i].load() {
+			if !fn(deepCopy(*h.e.Load())) {
 				return
 			}
 		}

@@ -44,6 +44,8 @@ func LineRatePPS(capacityGbps float64, frameSize int) float64 {
 // a population of registered hosts, and valid MACed frames, ready to be
 // pumped through pipelines.
 type Fixture struct {
+	// AID is the AS's identifier (100 for single-fixture setups).
+	AID    ephid.AID
 	Router *border.Router
 	Sealer *ephid.Sealer
 	DB     *hostdb.DB
@@ -69,7 +71,7 @@ func NewFixture(hosts, frameSize int) (*Fixture, error) {
 	if err != nil {
 		return nil, err
 	}
-	f := &Fixture{Sealer: sealer, DB: hostdb.New(), Secret: secret, Now: 1_000_000}
+	f := &Fixture{AID: 100, Sealer: sealer, DB: hostdb.New(), Secret: secret, Now: 1_000_000}
 	f.Router, err = border.New(100, sealer, f.DB, secret, func() int64 { return f.Now })
 	if err != nil {
 		return nil, err
@@ -77,10 +79,18 @@ func NewFixture(hosts, frameSize int) (*Fixture, error) {
 	f.Router.SetRoutes(nil)
 
 	payload := make([]byte, frameSize-wire.HeaderSize)
+	entries := make([]hostdb.Entry, 0, hosts)
+	for i := 0; i < hosts; i++ {
+		entries = append(entries, hostdb.Entry{
+			HID:          ephid.HID(i + 1),
+			Keys:         crypto.DeriveHostASKeys([]byte{byte(i), byte(i >> 8), byte(i >> 16), 0x7}),
+			RegisteredAt: f.Now,
+		})
+	}
+	f.DB.PutBatch(entries)
 	for i := 0; i < hosts; i++ {
 		hid := ephid.HID(i + 1)
-		keys := crypto.DeriveHostASKeys([]byte{byte(i), byte(i >> 8), byte(i >> 16), 0x7})
-		f.DB.Put(hostdb.Entry{HID: hid, Keys: keys, RegisteredAt: f.Now})
+		keys := entries[i].Keys
 		src := sealer.Mint(ephid.Payload{HID: hid, ExpTime: uint32(f.Now) + 3600})
 
 		p := wire.Packet{

@@ -121,14 +121,18 @@ func ChecksumValid(hdr []byte) bool {
 	return uint16(sum) == 0xffff
 }
 
-// Encapsulate wraps an APNA frame in IPv4+GRE between two tunnel
-// endpoints (Figure 9).
-func Encapsulate(srcIP, dstIP uint32, apnaFrame []byte) ([]byte, error) {
+// AppendEncapsulate appends the IPv4+GRE encapsulation of an APNA frame
+// to dst and returns the extended slice (Figure 9). With enough spare
+// capacity in dst the call does not allocate, so gateways can
+// encapsulate into pooled buffers.
+func AppendEncapsulate(dst []byte, srcIP, dstIP uint32, apnaFrame []byte) ([]byte, error) {
 	total := IPv4HeaderSize + GREHeaderSize + len(apnaFrame)
 	if total > 0xffff {
-		return nil, fmt.Errorf("%w: %d bytes", ErrTooLarge, total)
+		return dst, fmt.Errorf("%w: %d bytes", ErrTooLarge, total)
 	}
-	buf := make([]byte, total)
+	n := len(dst)
+	dst = append(dst, make([]byte, IPv4HeaderSize+GREHeaderSize)...)
+	buf := dst[n:]
 	ip := IPv4Header{
 		TotalLen: uint16(total),
 		TTL:      DefaultHopLimit,
@@ -137,13 +141,21 @@ func Encapsulate(srcIP, dstIP uint32, apnaFrame []byte) ([]byte, error) {
 		DstIP:    dstIP,
 	}
 	if err := ip.SerializeTo(buf); err != nil {
-		return nil, err
+		return dst[:n], err
 	}
 	// GRE (RFC 2784): no checksum, version 0, protocol type APNA.
 	binary.BigEndian.PutUint16(buf[IPv4HeaderSize:], 0)
 	binary.BigEndian.PutUint16(buf[IPv4HeaderSize+2:], EtherTypeAPNA)
-	copy(buf[IPv4HeaderSize+GREHeaderSize:], apnaFrame)
-	return buf, nil
+	return append(dst, apnaFrame...), nil
+}
+
+// Encapsulate wraps an APNA frame in IPv4+GRE between two tunnel
+// endpoints (Figure 9). It is the allocating convenience wrapper over
+// AppendEncapsulate.
+func Encapsulate(srcIP, dstIP uint32, apnaFrame []byte) ([]byte, error) {
+	return AppendEncapsulate(
+		make([]byte, 0, IPv4HeaderSize+GREHeaderSize+len(apnaFrame)),
+		srcIP, dstIP, apnaFrame)
 }
 
 // Decapsulate unwraps an IPv4+GRE tunnel packet, returning the outer

@@ -168,24 +168,43 @@ func (h *Header) SerializeTo(buf []byte) error {
 	return nil
 }
 
+// AppendTo appends the serialized header to dst and returns the
+// extended slice. When dst has HeaderSize bytes of spare capacity the
+// call performs no allocation, which is what lets pipelines encode into
+// pooled frame buffers.
+func (h *Header) AppendTo(dst []byte) []byte {
+	n := len(dst)
+	dst = append(dst, make([]byte, HeaderSize)...)
+	_ = h.SerializeTo(dst[n:]) // cannot fail: the slice has HeaderSize bytes
+	return dst
+}
+
 // Packet couples a header with its payload bytes.
 type Packet struct {
 	Header  Header
 	Payload []byte
 }
 
-// Encode serializes the packet into a fresh buffer, fixing up
-// PayloadLen.
-func (p *Packet) Encode() ([]byte, error) {
+// AppendTo appends the serialized packet (header plus payload) to dst,
+// fixing up PayloadLen, and returns the extended slice. With enough
+// spare capacity in dst the call does not allocate — the zero-copy
+// encoder of the forwarding fast path.
+func (p *Packet) AppendTo(dst []byte) ([]byte, error) {
 	if len(p.Payload) > MaxPayload {
-		return nil, fmt.Errorf("%w: %d bytes", ErrTooLarge, len(p.Payload))
+		return dst, fmt.Errorf("%w: %d bytes", ErrTooLarge, len(p.Payload))
 	}
 	p.Header.PayloadLen = uint16(len(p.Payload))
-	buf := make([]byte, HeaderSize+len(p.Payload))
-	if err := p.Header.SerializeTo(buf); err != nil {
+	dst = p.Header.AppendTo(dst)
+	return append(dst, p.Payload...), nil
+}
+
+// Encode serializes the packet into a fresh buffer, fixing up
+// PayloadLen. It is the allocating convenience wrapper over AppendTo.
+func (p *Packet) Encode() ([]byte, error) {
+	buf, err := p.AppendTo(make([]byte, 0, HeaderSize+len(p.Payload)))
+	if err != nil {
 		return nil, err
 	}
-	copy(buf[HeaderSize:], p.Payload)
 	return buf, nil
 }
 

@@ -1,0 +1,72 @@
+package wire
+
+import "sync"
+
+// FramePool recycles frame buffers across packets so steady-state
+// encoding paths allocate nothing. Buffers are handed out empty
+// (length 0) with at least the requested capacity; AppendTo-style
+// encoders then fill them without growing.
+//
+// The pool is size-classed in powers of two from MinFrameCap up to
+// MaxFrameCap; requests above MaxFrameCap fall through to plain
+// allocation (and are not pooled on return either), so pathological
+// payloads cannot pin large buffers forever. Buffers are stored as
+// *[]byte so Put does not box the slice header.
+type FramePool struct {
+	classes [framePoolClasses]sync.Pool
+	// headers recycles the *[]byte boxes Put files buffers under, so a
+	// steady-state Get/Put cycle allocates nothing (not even the box).
+	headers sync.Pool
+}
+
+const (
+	// MinFrameCap is the smallest pooled buffer capacity: one header
+	// plus a small payload.
+	MinFrameCap = 128
+	// MaxFrameCap is the largest pooled buffer capacity. It covers the
+	// biggest paper frame size (1518 B) plus tunnel encapsulation.
+	MaxFrameCap = 4096
+
+	framePoolClasses = 6 // 128, 256, 512, 1024, 2048, 4096
+)
+
+// Get returns an empty buffer with capacity at least n.
+func (p *FramePool) Get(n int) []byte {
+	size, c := MinFrameCap, 0
+	for size < n {
+		size <<= 1
+		c++
+	}
+	if size > MaxFrameCap {
+		return make([]byte, 0, n)
+	}
+	if v := p.classes[c].Get(); v != nil {
+		h := v.(*[]byte)
+		buf := (*h)[:0]
+		*h = nil
+		p.headers.Put(h)
+		return buf
+	}
+	return make([]byte, 0, size)
+}
+
+// Put returns a buffer to the pool, filing it under the largest size
+// class its capacity satisfies so a later Get never receives a buffer
+// smaller than the class promises. Buffers below MinFrameCap or above
+// MaxFrameCap are dropped.
+func (p *FramePool) Put(buf []byte) {
+	if cap(buf) > MaxFrameCap {
+		return
+	}
+	for c := framePoolClasses - 1; c >= 0; c-- {
+		if cap(buf) >= MinFrameCap<<c {
+			h, _ := p.headers.Get().(*[]byte)
+			if h == nil {
+				h = new([]byte)
+			}
+			*h = buf[:0]
+			p.classes[c].Put(h)
+			return
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package wire
+
+import "testing"
+
+func TestFramePoolRoundTrip(t *testing.T) {
+	var p FramePool
+	buf := p.Get(200)
+	if len(buf) != 0 || cap(buf) < 200 {
+		t.Fatalf("got len %d cap %d", len(buf), cap(buf))
+	}
+	buf = append(buf, make([]byte, 200)...)
+	p.Put(buf)
+	again := p.Get(200)
+	if len(again) != 0 || cap(again) < 200 {
+		t.Fatalf("recycled buffer: len %d cap %d", len(again), cap(again))
+	}
+}
+
+func TestFramePoolOversizeBypasses(t *testing.T) {
+	var p FramePool
+	buf := p.Get(MaxFrameCap + 1)
+	if cap(buf) < MaxFrameCap+1 {
+		t.Fatalf("cap %d", cap(buf))
+	}
+	p.Put(buf) // dropped, not pooled
+	if got := p.Get(MinFrameCap); cap(got) > MaxFrameCap {
+		t.Fatal("oversize buffer leaked into a class")
+	}
+}
+
+func TestFramePoolUndersizedPutIsFiledCorrectly(t *testing.T) {
+	var p FramePool
+	// A 300-cap buffer satisfies the 256 class but not 512: a Get(512)
+	// after Put must not hand it back.
+	p.Put(make([]byte, 0, 300))
+	buf := p.Get(512)
+	if cap(buf) < 512 {
+		t.Fatalf("Get(512) returned cap %d", cap(buf))
+	}
+	small := p.Get(200)
+	if cap(small) < 200 {
+		t.Fatalf("Get(200) returned cap %d", cap(small))
+	}
+}
+
+func TestFramePoolTinyPutDropped(t *testing.T) {
+	var p FramePool
+	p.Put(make([]byte, 0, 8)) // below MinFrameCap: dropped, must not panic
+	if buf := p.Get(64); cap(buf) < 64 {
+		t.Fatalf("cap %d", cap(buf))
+	}
+}
+
+// TestFramePoolSteadyStateAllocs asserts a warm Get/Put cycle allocates
+// nothing, including the internal pointer box.
+func TestFramePoolSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops items at random under the race detector")
+	}
+	var p FramePool
+	// Warm: seed the class and the header pool.
+	for i := 0; i < 4; i++ {
+		p.Put(p.Get(256))
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		buf := p.Get(256)
+		p.Put(buf)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Get/Put allocates %.1f times per op", allocs)
+	}
+}

@@ -1,0 +1,41 @@
+package apna
+
+import (
+	"apna/internal/engine"
+)
+
+// Throughput wiring: the facade's entry point to the parallel
+// forwarding engine (experiment E8). Unlike every other facade API,
+// throughput runs do NOT go through the deterministic event simulator —
+// they drive per-worker border-router pipelines on real cores, because
+// packets-per-second is a property of the hardware, not of virtual
+// time. The conformance experiments (E6, E7) stay on the simulator;
+// this is the repo's analogue of the paper's split between protocol
+// evaluation and the DPDK testbed (Section V-B).
+
+// ThroughputConfig sizes a data-plane saturation run: AS count, host
+// population, frame size, worker (core) count, batch size, adversarial
+// traffic fraction.
+type ThroughputConfig = engine.SaturationConfig
+
+// ThroughputResult is the saturation report: pps, delivered Gbps,
+// per-stage latency percentiles and drop-verdict counts, serializable
+// as the BENCH_e8.json artifact via its JSON method.
+type ThroughputResult = engine.SaturationResult
+
+// ThroughputStageStats summarizes one pipeline stage's per-packet
+// latency distribution.
+type ThroughputStageStats = engine.StageStats
+
+// DefaultThroughputConfig returns the standard E8 configuration
+// (4-AS ring, 64 hosts/AS, 256-byte frames, one worker per core).
+func DefaultThroughputConfig() ThroughputConfig { return engine.DefaultSaturation() }
+
+// Throughput saturates a multi-AS data plane with the parallel
+// forwarding engine and reports the measurement:
+//
+//	res, _ := apna.Throughput(apna.DefaultThroughputConfig())
+//	fmt.Printf("%.2f Mpps\n", res.Report.PPS/1e6)
+func Throughput(cfg ThroughputConfig) (*ThroughputResult, error) {
+	return engine.Saturate(cfg)
+}

@@ -84,6 +84,21 @@ type (
 	Message = host.Message
 	// Stack is the underlying protocol stack behind a facade Host.
 	Stack = host.Host
+	// Granularity selects how a host assigns EphIDs to traffic
+	// (Section VIII-A), used with Stack.Acquire.
+	Granularity = host.Granularity
+)
+
+// Re-exported EphID granularities (Section VIII-A) so external
+// consumers can drive Stack.Acquire — per-flow pools are the surface
+// the lifecycle engine (WithLifetimes) keeps fed.
+const (
+	// PerHost: one EphID for everything.
+	PerHost = host.PerHost
+	// PerFlow: a fresh EphID per connection, released by Conn.Close.
+	PerFlow = host.PerFlow
+	// PerApplication: one EphID per application label.
+	PerApplication = host.PerApplication
 )
 
 // Re-exported EphID kinds (Section VIII-A / VII-A of the paper).
@@ -146,6 +161,9 @@ type Internet struct {
 	// live holds outstanding async operations with reply-routing state,
 	// settled (resolved or abandoned) whenever the timeline quiesces.
 	live []Op
+	// lifecycle, when non-nil, is the running EphID lifecycle engine
+	// (StartLifecycle / WithLifetimes).
+	lifecycle *Lifecycle
 }
 
 // NewInternet creates an empty internet with default options.
@@ -196,6 +214,22 @@ func (in *Internet) AS(aid AID) *AS { return in.ases[aid] }
 // Host returns the host with the given name, or nil. Names are assigned
 // by AddHost / WithAS / WithHosts and are unique within the internet.
 func (in *Internet) Host(name string) *Host { return in.hosts[name] }
+
+// ASes returns every AS in the internet, sorted by AID — the
+// deterministic iteration order scheduled maintenance (lifecycle GC)
+// and scenario code rely on.
+func (in *Internet) ASes() []*AS {
+	aids := make([]AID, 0, len(in.ases))
+	for aid := range in.ases {
+		aids = append(aids, aid)
+	}
+	sort.Slice(aids, func(i, j int) bool { return aids[i] < aids[j] })
+	out := make([]*AS, len(aids))
+	for i, aid := range aids {
+		out[i] = in.ases[aid]
+	}
+	return out
+}
 
 // Hosts returns every host in the internet, sorted by name, for
 // scenario code that fans operations out across the whole population.

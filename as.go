@@ -264,9 +264,20 @@ func (as *AS) ServiceEndpoints() (msEp, dnsEp, aaEp Endpoint) {
 }
 
 // GCRevocations removes expired entries from the router's revocation
-// list (Section VIII-G2), returning the number removed.
+// list (Section VIII-G2), returning the number removed. This is the
+// manual hook for tests and diagnostics; production topologies run the
+// same reap on the lifecycle engine's timer (StartLifecycle /
+// WithLifetimes), which also reaps the hostdb.
 func (as *AS) GCRevocations() int {
 	return as.Router.Revoked().GC(as.in.Sim.NowUnix())
+}
+
+// runGC is one scheduled lifecycle GC pass over this AS: expired
+// revocation-list entries plus revoked host_info entries older than the
+// retention window. It returns the two reap counts.
+func (as *AS) runGC(retention int64) (revocations, hosts int) {
+	now := as.in.Sim.NowUnix()
+	return as.Router.Revoked().GC(now), as.DB.GC(now, retention)
 }
 
 // Sealer exposes the AS's EphID sealer for benchmarks and tests that

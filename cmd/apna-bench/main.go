@@ -2,14 +2,16 @@
 // (Section V and Section VII-C): the MS performance table, the trace
 // statistics it is sized against, both Figure 8 forwarding series, the
 // connection-establishment latency analysis, the concurrent multi-flow
-// scenario (E6), the adversarial conformance sweep (E7), and the
-// multi-AS parallel-engine saturation run (E8); each table prints the
-// paper's numbers next to the measured ones.
+// scenario (E6), the adversarial conformance sweep (E7), the multi-AS
+// parallel-engine saturation run (E8), and the lifecycle endurance
+// sweep (E9); each table prints the paper's numbers next to the
+// measured ones.
 //
 // The -seed flag drives every seeded experiment (E2 trace, E6
-// scenario, E7 sweep base, E8 traffic mix), so CI and local runs can
-// sweep seeds; E7 additionally takes -seeds for the sweep width and
-// exits nonzero if any paper invariant is violated.
+// scenario, E7/E9 sweep bases, E8 traffic mix), so CI and local runs
+// can sweep seeds; E7 and E9 additionally take -seeds for the sweep
+// width and exit nonzero if any paper invariant (E7) or lifecycle gate
+// (E9) is violated.
 //
 // Usage:
 //
@@ -20,6 +22,7 @@
 //	apna-bench -exp e6 -seed 7    # concurrent multi-flow scenario
 //	apna-bench -exp e7 -seed 1 -seeds 5 -adversaries 2 -json
 //	apna-bench -exp e8 -ases 4 -fwd-workers 8 -json > BENCH_e8.json
+//	apna-bench -exp e9 -seed 1 -seeds 3 -windows 4 -json > BENCH_e9.json
 package main
 
 import (
@@ -35,7 +38,7 @@ import (
 
 func main() {
 	var (
-		exp         = flag.String("exp", "all", "experiment: e1, e2, e3 (includes e4), e5, e6, e7, e8, all")
+		exp         = flag.String("exp", "all", "experiment: e1, e2, e3 (includes e4), e5, e6, e7, e8, e9, all")
 		requests    = flag.Int("requests", 500_000, "E1: number of EphID requests")
 		workers     = flag.Int("workers", 4, "E1: parallel issuance workers (paper: 4)")
 		fwdHosts    = flag.Int("hosts", 256, "E3/E8: simulated source hosts (per AS for E8)")
@@ -44,12 +47,14 @@ func main() {
 		small       = flag.Bool("small", false, "E2: use a small trace instead of paper scale")
 		oneWay      = flag.Duration("oneway", 25*time.Millisecond, "E5: one-way inter-AS latency")
 		seed        = flag.Int64("seed", 1, "base seed for every seeded experiment (E2, E6, E7, E8)")
-		seeds       = flag.Int("seeds", 5, "E7: seeds in the sweep (seed, seed+1, ...)")
+		seeds       = flag.Int("seeds", 5, "E7/E9: seeds in the sweep (seed, seed+1, ...)")
 		adversaries = flag.Int("adversaries", 2, "E7: number of attackers")
-		jsonOut     = flag.Bool("json", false, "E7/E8: emit machine-readable JSON")
+		jsonOut     = flag.Bool("json", false, "E7/E8/E9: emit machine-readable JSON")
 		e8ASes      = flag.Int("ases", 4, "E8: autonomous systems in the ring")
 		e8Batch     = flag.Int("batch", 64, "E8: frames per pipeline batch")
 		e8Bad       = flag.Float64("bad", 0.05, "E8: fraction of adversarial frames")
+		e9Windows   = flag.Int("windows", 4, "E9: EphID validity windows to cross")
+		e9Life      = flag.Uint("ephid-life", 120, "E9: client EphID lifetime in seconds")
 	)
 	flag.Parse()
 
@@ -157,6 +162,33 @@ func main() {
 			fatal(err)
 		}
 		fmt.Println()
+	}
+
+	if run("e9") {
+		cfg := experiments.DefaultE9()
+		cfg.Windows = *e9Windows
+		cfg.EphIDLifetime = uint32(*e9Life)
+		cfg.Seeds = experiments.SeedSweep(*seed, *seeds)
+		fmt.Fprintf(os.Stderr, "lifecycle endurance: %d seeds, %d windows x %ds EphIDs...\n",
+			len(cfg.Seeds), cfg.Windows, cfg.EphIDLifetime)
+		res, err := experiments.RunE9(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		if *jsonOut {
+			// The summary goes to stderr so stdout stays a clean
+			// JSON-lines artifact (BENCH_e9.json).
+			res.Fprint(os.Stderr)
+		}
+		ok, err := res.Report(os.Stdout, *jsonOut)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+		if !ok {
+			fmt.Fprintln(os.Stderr, "apna-bench: E9 lifecycle gate failures")
+			os.Exit(2)
+		}
 	}
 }
 

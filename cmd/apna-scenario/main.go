@@ -2,11 +2,13 @@
 // multi-flow scenario (E6) — M hosts across a full mesh of K ASes
 // running overlapping EphID issuances, handshakes and data waves in
 // one shared virtual timeline, optionally with mid-flight shutoffs —
-// and the adversarial conformance scenario (E7), which adds attackers,
-// chaos links and the paper-invariant referee, emitting a JSON verdict
-// per seed.
+// the adversarial conformance scenario (E7), which adds attackers,
+// chaos links and the paper-invariant referee, and the lifecycle
+// endurance scenario (E9), which runs long-lived flows across EphID
+// expiry horizons under the renewal engine. E7 and E9 emit a JSON
+// verdict per seed.
 //
-// The -seed flag (and for E7 -seeds, the sweep width) makes runs
+// The -seed flag (and for E7/E9 -seeds, the sweep width) makes runs
 // reproducible and sweepable from CI.
 //
 // Usage:
@@ -16,6 +18,7 @@
 //	apna-scenario -shutoffs 0              # pure traffic, no revocations
 //	apna-scenario -exp e7                  # adversarial conformance sweep
 //	apna-scenario -exp e7 -seed 10 -seeds 8 -adversaries 3 -json
+//	apna-scenario -exp e9 -windows 5 -json # lifecycle endurance sweep
 package main
 
 import (
@@ -30,8 +33,9 @@ import (
 func main() {
 	def := experiments.DefaultScenario()
 	adv := experiments.DefaultAdversarial()
+	endur := experiments.DefaultE9()
 	var (
-		exp         = flag.String("exp", "e6", "scenario: e6 (concurrent) or e7 (adversarial conformance)")
+		exp         = flag.String("exp", "e6", "scenario: e6 (concurrent), e7 (adversarial conformance) or e9 (lifecycle endurance)")
 		ases        = flag.Int("ases", def.ASes, "number of ASes (full mesh)")
 		hosts       = flag.Int("hosts", def.HostsPerAS, "hosts per AS")
 		flows       = flag.Int("flows", def.FlowsPerHost, "flows dialed per host")
@@ -39,11 +43,19 @@ func main() {
 		shutoffs    = flag.Int("shutoffs", def.Shutoffs, "flows revoked mid-traffic")
 		latency     = flag.Duration("latency", def.LinkLatency, "one-way inter-AS latency")
 		seed        = flag.Int64("seed", def.Seed, "simulation seed (E7: sweep base)")
-		seeds       = flag.Int("seeds", len(adv.Seeds), "E7: seeds in the sweep (seed, seed+1, ...)")
-		adversaries = flag.Int("adversaries", adv.Adversaries, "E7: number of attackers")
-		jsonOut     = flag.Bool("json", false, "E7: emit one JSON verdict per seed")
+		seeds       = flag.Int("seeds", len(adv.Seeds), "E7/E9: seeds in the sweep (seed, seed+1, ...)")
+		adversaries = flag.Int("adversaries", adv.Adversaries, "E7/E9: number of attackers")
+		jsonOut     = flag.Bool("json", false, "E7/E9: emit one JSON verdict per seed")
+		windows     = flag.Int("windows", endur.Windows, "E9: EphID validity windows to cross")
+		ephidLife   = flag.Uint("ephid-life", uint(endur.EphIDLifetime), "E9: client EphID lifetime in seconds")
 	)
 	flag.Parse()
+
+	// Which flags were set explicitly: E7 and E9 keep their own
+	// defaults (comparable to apna-bench and the CI gates) unless a
+	// sizing flag was given.
+	set := make(map[string]bool)
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
 
 	start := time.Now()
 	switch *exp {
@@ -59,11 +71,6 @@ func main() {
 		}
 		res.Fprint(os.Stdout)
 	case "e7":
-		// The sizing flags default to the E6 scenario's values; E7 keeps
-		// DefaultAdversarial sizing (so runs are comparable to apna-bench
-		// and the CI gate) unless a flag was set explicitly.
-		set := make(map[string]bool)
-		flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
 		cfg := adv
 		if set["ases"] {
 			cfg.ASes = *ases
@@ -97,8 +104,34 @@ func main() {
 			fmt.Fprintln(os.Stderr, "apna-scenario: E7 invariant violations")
 			os.Exit(2)
 		}
+	case "e9":
+		cfg := endur
+		cfg.Windows = *windows
+		cfg.EphIDLifetime = uint32(*ephidLife)
+		cfg.Attackers = *adversaries
+		if set["latency"] {
+			cfg.LinkLatency = *latency
+		}
+		cfg.Seeds = experiments.SeedSweep(*seed, *seeds)
+		res, err := experiments.RunE9(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		if *jsonOut {
+			// The summary goes to stderr so stdout stays a clean
+			// JSON-lines artifact (BENCH_e9.json).
+			res.Fprint(os.Stderr)
+		}
+		ok, err := res.Report(os.Stdout, *jsonOut)
+		if err != nil {
+			fatal(err)
+		}
+		if !ok {
+			fmt.Fprintln(os.Stderr, "apna-scenario: E9 lifecycle gate failures")
+			os.Exit(2)
+		}
 	default:
-		fatal(fmt.Errorf("unknown scenario %q (want e6 or e7)", *exp))
+		fatal(fmt.Errorf("unknown scenario %q (want e6, e7 or e9)", *exp))
 	}
 	fmt.Printf("  total wall time:     %v\n", time.Since(start).Round(time.Millisecond))
 }

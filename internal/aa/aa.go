@@ -232,7 +232,9 @@ func (a *Agent) HandleShutoff(req *Request) (*Result, error) {
 		return nil, err
 	}
 	if a.cfg.StrikeLimit > 0 && res.Strikes >= a.cfg.StrikeLimit {
-		a.db.Revoke(p.HID)
+		// Timestamped so the lifecycle GC can reap the entry once the
+		// retention window (max EphID lifetime) passes.
+		a.db.RevokeAt(p.HID, now)
 		res.HostRevoked = true
 	}
 	return res, nil

@@ -1,0 +1,44 @@
+package experiments
+
+import "testing"
+
+// TestE9Defaults runs the default endurance sweep — the same
+// configuration the CI gate uses — and requires every lifecycle gate
+// to hold on every seed.
+func TestE9Defaults(t *testing.T) {
+	res, err := RunE9(DefaultE9())
+	if err != nil {
+		t.Fatalf("RunE9: %v", err)
+	}
+	if !res.OK {
+		for _, v := range res.Verdicts {
+			if !v.OK {
+				t.Errorf("seed %d: %v", v.Seed, v.Failures)
+			}
+		}
+	}
+	for _, v := range res.Verdicts {
+		if v.FlowsTotal <= v.PoolSize {
+			t.Errorf("seed %d: flows %d do not exceed pool %d", v.Seed, v.FlowsTotal, v.PoolSize)
+		}
+		if v.Renewals == 0 || v.Migrations == 0 {
+			t.Errorf("seed %d: engine idle (renewals %d, migrations %d)", v.Seed, v.Renewals, v.Migrations)
+		}
+		if v.WindowsCrossed < 3 {
+			t.Errorf("seed %d: crossed only %d windows", v.Seed, v.WindowsCrossed)
+		}
+	}
+}
+
+func TestE9ConfigValidation(t *testing.T) {
+	bad := DefaultE9()
+	bad.PoolSize = 1 // below LongFlowsPerClient
+	if _, err := RunE9(bad); err == nil {
+		t.Error("pool smaller than long flows accepted")
+	}
+	noSeeds := DefaultE9()
+	noSeeds.Seeds = nil
+	if _, err := RunE9(noSeeds); err == nil {
+		t.Error("empty seed sweep accepted")
+	}
+}

@@ -79,13 +79,73 @@ type Conn struct {
 	// opposed to a re-dial reusing an existing one) — AbortDial may
 	// only tear down session state this dial actually owns.
 	createdSess bool
+	// migrating marks a connection whose re-handshake onto a successor
+	// EphID is in flight, so the lifecycle engine does not start a
+	// second migration for the same connection.
+	migrating bool
+	// closed marks a torn-down connection; Send fails fast instead of
+	// silently queueing into a flow that no longer exists.
+	closed bool
 }
 
 // Peer returns the current peer endpoint.
 func (c *Conn) Peer() wire.Endpoint { return c.peer }
 
+// Local returns the EphID currently sourcing this connection.
+func (c *Conn) Local() *OwnedEphID { return c.local }
+
 // Established reports whether the handshake acknowledgment arrived.
 func (c *Conn) Established() bool { return c.established }
+
+// Closed reports whether Close tore the connection down.
+func (c *Conn) Closed() bool { return c.closed }
+
+// Migrating reports whether a re-handshake onto a successor EphID is in
+// flight for this connection.
+func (c *Conn) Migrating() bool { return c.migrating }
+
+// Close tears down the connection: the flow's session state is dropped
+// and the local EphID is released back to the pool, clearing the
+// per-flow InUse mark so the pool no longer drains as flows come and
+// go. An unestablished connection aborts its in-flight dial first. The
+// peer is not notified — teardown is a local resource operation; the
+// peer's flow state ages out with its EphID. Closing twice is a no-op.
+func (c *Conn) Close() {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	h := c.h
+	if !c.established {
+		h.AbortDial(c) // also removes the conn from tracking
+	} else {
+		h.removeConn(c)
+		// Tear down the flow's session state only when no other live
+		// connection shares the flow (a re-dial, or a migration's
+		// in-flight handshake handle) — deleting shared state would
+		// brick the survivor.
+		if !h.flowShared(c.local.Cert.EphID, c.peer) {
+			key := sessKey{local: c.local.Cert.EphID, peer: c.peer}
+			delete(h.sessions, key)
+			delete(h.peerCerts, key)
+			delete(h.lastFrame, key)
+		}
+	}
+	c.established = false
+	c.queue = nil
+	h.Release(c.local)
+}
+
+// flowShared reports whether any tracked connection still uses the
+// given flow.
+func (h *Host) flowShared(local ephid.EphID, peer wire.Endpoint) bool {
+	for _, e := range h.conns {
+		if e.local.Cert.EphID == local && e.peer == peer {
+			return true
+		}
+	}
+	return false
+}
 
 // dialState tracks an in-flight dial. Dials are kept per local EphID;
 // acknowledgments are matched back by the dialed EphID each ack echoes.
@@ -169,7 +229,130 @@ func (h *Host) Dial(local *OwnedEphID, peerCert *cert.Cert, opts DialOptions) (*
 	// a failed send must not leave a record that would claim a later
 	// dial's acknowledgment.
 	h.dials[local.Cert.EphID] = append(h.dials[local.Cert.EphID], &dialState{conn: conn})
+	h.conns = append(h.conns, conn)
 	return conn, nil
+}
+
+// Conns returns the host's tracked initiator-side connections in
+// creation order. The returned slice is the host's own bookkeeping —
+// callers must not mutate it.
+func (h *Host) Conns() []*Conn { return h.conns }
+
+// Tracks reports whether the connection is still in the host's
+// tracking list — false once it closed or its dial was aborted.
+func (h *Host) Tracks(c *Conn) bool {
+	for _, e := range h.conns {
+		if e == c {
+			return true
+		}
+	}
+	return false
+}
+
+// removeConn drops a connection from the tracking list, preserving
+// order.
+func (h *Host) removeConn(c *Conn) {
+	for i, e := range h.conns {
+		if e == c {
+			h.conns = append(h.conns[:i], h.conns[i+1:]...)
+			return
+		}
+	}
+}
+
+// Migrate re-handshakes an established connection onto a successor
+// EphID — the in-flight half of the lifecycle engine: when a per-flow
+// identifier nears expiry, the renewed identifier dials the same peer
+// certificate and, once the acknowledgment arrives, the caller's *Conn
+// adopts the new identity in place. The predecessor flow's session
+// state is torn down and its EphID released only at that point, so the
+// old identifier keeps carrying traffic until the successor is live
+// (frames it sends after its own expiry are dropped at the border —
+// the drop-expired window the scheduler's renewal lead exists to
+// avoid). done, if non-nil, fires when the migration completes.
+func (h *Host) Migrate(c *Conn, succ *OwnedEphID, done func(error)) error {
+	if succ == nil {
+		return ErrNoEphID
+	}
+	if !c.established || c.closed {
+		return fmt.Errorf("%w: migrate needs an established connection", ErrNoSession)
+	}
+	oldKey := sessKey{local: c.local.Cert.EphID, peer: c.peer}
+	pc, ok := h.peerCerts[oldKey]
+	if !ok {
+		return ErrNoPeerCert
+	}
+	old := c.local
+	c.migrating = true
+	// The connection's per-flow lease transfers to the successor NOW,
+	// not at completion: an unclaimed successor sitting in the pool
+	// could be handed to a new flow by Acquire mid-migration, and that
+	// flow's teardown would destroy the migrated session.
+	leased := old.InUse
+	if leased {
+		succ.InUse = true
+	}
+	_, err := h.Dial(succ, pc, DialOptions{OnEstablish: func(nc *Conn) {
+		if c.closed {
+			// The flow was torn down mid-migration: the successor's
+			// freshly established flow is unwanted. Drop it and return
+			// the transferred lease, so a close racing a migration
+			// cannot leak a pool slot.
+			c.migrating = false
+			h.removeConn(nc)
+			if !h.flowShared(succ.Cert.EphID, nc.peer) {
+				key := sessKey{local: succ.Cert.EphID, peer: nc.peer}
+				delete(h.sessions, key)
+				delete(h.peerCerts, key)
+				delete(h.lastFrame, key)
+			}
+			h.Release(succ)
+			if done != nil {
+				done(nil)
+			}
+			return
+		}
+		// Graft the successor identity onto the caller's handle so the
+		// caller's *Conn keeps working across the swap, then retire the
+		// predecessor flow.
+		c.local = nc.local
+		c.peer = nc.peer
+		c.migrating = false
+		h.removeConn(nc) // the temporary dial handle is absorbed into c
+		delete(h.sessions, oldKey)
+		delete(h.peerCerts, oldKey)
+		delete(h.lastFrame, oldKey)
+		h.Release(old)
+		h.stats.FlowsMigrated++
+		if done != nil {
+			done(nil)
+		}
+	}})
+	if err != nil {
+		c.migrating = false
+		if leased {
+			succ.InUse = false // lease returns with the failed dial
+		}
+		return err
+	}
+	return nil
+}
+
+// AbortMigration cancels an in-flight migration re-handshake so a
+// fresh Migrate can be issued — the retry path for migrations whose
+// handshake or acknowledgment a chaotic link swallowed. The stale dial
+// from the successor toward the connection's peer is aborted and the
+// migrating mark cleared. No-op when the connection is not migrating.
+func (h *Host) AbortMigration(c *Conn, succ *OwnedEphID) {
+	if !c.migrating {
+		return
+	}
+	for _, ds := range append([]*dialState(nil), h.dials[succ.Cert.EphID]...) {
+		if ds.conn.peer == c.peer && ds.conn != c {
+			h.AbortDial(ds.conn)
+		}
+	}
+	c.migrating = false
 }
 
 // AbortDial tears down conn's in-flight dial, if still pending — the
@@ -196,6 +379,7 @@ func (h *Host) AbortDial(conn *Conn) {
 	} else {
 		h.dials[local] = list
 	}
+	h.removeConn(conn)
 	if !conn.createdSess {
 		// A re-dial reused the session of an earlier connection on this
 		// flow; deleting it here would brick that live connection.
@@ -233,8 +417,12 @@ func (h *Host) sendWithNonce(proto wire.NextProto, flags uint8, src ephid.EphID,
 }
 
 // Send transmits application data on the connection, queueing it until
-// establishment if necessary.
+// establishment if necessary. Sending on a closed connection fails with
+// ErrNoSession.
 func (c *Conn) Send(data []byte) error {
+	if c.closed {
+		return fmt.Errorf("%w: connection closed", ErrNoSession)
+	}
 	if !c.established {
 		c.queue = append(c.queue, append([]byte(nil), data...))
 		return nil

@@ -99,6 +99,11 @@ type Host struct {
 
 	pendingEphID []*pendingIssue
 	dials        map[ephid.EphID][]*dialState
+	// conns tracks the initiator-side connections this host opened, in
+	// creation order (a slice, not a map: the lifecycle engine iterates
+	// it from simulator callbacks and map order would break determinism).
+	// Entries leave on Close or AbortDial.
+	conns []*Conn
 	// hsCompleted is the responder's handshake replay protection
 	// (Section VIII-D): one entry per completed handshake flow —
 	// (initiator endpoint, addressed EphID) — holding the
@@ -138,6 +143,17 @@ type Stats struct {
 	DropReplay       uint64
 	DropBadHandshake uint64
 	EphIDsIssued     uint64
+	// EphIDsRenewed counts issuances that went through the renewal path
+	// (a subset of EphIDsIssued).
+	EphIDsRenewed uint64
+	// EphIDsReleased counts per-flow identifiers returned to the pool by
+	// flow teardown.
+	EphIDsReleased uint64
+	// EphIDsReaped counts expired identifiers dropped from the pool.
+	EphIDsReaped uint64
+	// FlowsMigrated counts live connections re-handshaken onto a
+	// successor EphID by the lifecycle engine.
+	FlowsMigrated uint64
 }
 
 // sessKey identifies a session by local EphID and peer endpoint.

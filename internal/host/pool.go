@@ -50,6 +50,42 @@ func (h *Host) RequestEphID(kind ephid.Kind, lifetime uint32, cb func(*OwnedEphI
 		})
 }
 
+// RequestRenewal asks the MS for a successor to an EphID nearing
+// expiry: a fresh identifier of the same kind, bound to freshly
+// generated keys, issued through the renewal path so the MS can
+// rate-limit identifier churn per host (a compromised host must not be
+// able to cycle EphIDs faster than shutoff strikes accumulate,
+// Section VIII-G2). The old EphID stays valid until its own expiry;
+// callers migrate live flows to the successor and then Release or
+// Retire the predecessor.
+func (h *Host) RequestRenewal(old *OwnedEphID, lifetime uint32, cb func(*OwnedEphID, error)) error {
+	if old == nil {
+		return ErrNoEphID
+	}
+	dh, err := crypto.GenerateKeyPair()
+	if err != nil {
+		return err
+	}
+	sig, err := crypto.GenerateSigner()
+	if err != nil {
+		return err
+	}
+	req := &ms.Request{Kind: old.Cert.Kind, Lifetime: lifetime, Flags: ms.ReqFlagRenew, Prev: old.Cert.EphID}
+	copy(req.DHPub[:], dh.PublicKey())
+	copy(req.SigPub[:], sig.PublicKey())
+	return h.requestEphID(req, func(c *cert.Cert, err error) {
+		if err != nil {
+			cb(nil, err)
+			return
+		}
+		owned := &OwnedEphID{Cert: *c, DH: dh, Sig: sig}
+		h.AddEphID(owned)
+		h.stats.EphIDsIssued++
+		h.stats.EphIDsRenewed++
+		cb(owned, nil)
+	})
+}
+
 // RequestEphIDFor asks the MS for an EphID bound to externally supplied
 // public keys. This is the relay path a NAT-mode access point uses:
 // "the AP uses an ephemeral public key that is supplied by its host"
@@ -59,7 +95,12 @@ func (h *Host) RequestEphIDFor(kind ephid.Kind, lifetime uint32, dhPub, sigPub [
 	req := &ms.Request{Kind: kind, Lifetime: lifetime}
 	copy(req.DHPub[:], dhPub)
 	copy(req.SigPub[:], sigPub)
+	return h.requestEphID(req, deliver)
+}
 
+// requestEphID encrypts and sends an issuance (or renewal) request to
+// the MS and registers the FIFO reply continuation.
+func (h *Host) requestEphID(req *ms.Request, deliver func(*cert.Cert, error)) error {
 	ct, err := ms.EncodeRequest(h.cfg.Keys.Enc[:], h.cfg.CtrlEphID, req)
 	if err != nil {
 		return err
@@ -69,8 +110,8 @@ func (h *Host) RequestEphIDFor(kind ephid.Kind, lifetime uint32, dhPub, sigPub [
 		return err
 	}
 	h.pendingEphID = append(h.pendingEphID, &pendingIssue{
-		dhPub:   append([]byte(nil), dhPub...),
-		sigPub:  append([]byte(nil), sigPub...),
+		dhPub:   append([]byte(nil), req.DHPub[:]...),
+		sigPub:  append([]byte(nil), req.SigPub[:]...),
 		deliver: deliver,
 	})
 	return nil
@@ -147,36 +188,133 @@ func (g Granularity) String() string {
 // the policy needs an identifier the pool cannot supply (callers then
 // RequestEphID and retry).
 func (h *Host) Acquire(g Granularity, app string) (*OwnedEphID, error) {
-	now := h.cfg.Now()
 	switch g {
 	case PerHost:
 		for _, o := range h.poolList {
-			if usable(o, now) {
+			if h.claim(o, PerHost, "") {
 				return o, nil
 			}
 		}
 	case PerFlow:
 		for _, o := range h.poolList {
-			if usable(o, now) && !o.InUse {
-				o.InUse = true
+			if h.claim(o, PerFlow, "") {
 				return o, nil
 			}
 		}
 	case PerApplication:
+		// An EphID already labeled for this app wins; otherwise claim an
+		// unlabeled one. Both paths run through claim, which re-validates
+		// under the current clock at the moment of mutation.
 		for _, o := range h.poolList {
-			if usable(o, now) && o.App == app {
+			if o.App == app && h.claim(o, PerApplication, app) {
 				return o, nil
 			}
 		}
-		// No EphID labeled for this app yet: claim an unlabeled one.
 		for _, o := range h.poolList {
-			if usable(o, now) && o.App == "" && !o.InUse {
-				o.App = app
+			if o.App == "" && h.claim(o, PerApplication, app) {
 				return o, nil
 			}
 		}
 	}
 	return nil, ErrNoEphID
+}
+
+// claim is the single pool-mutation helper every acquisition path —
+// granularity policies, serving-EphID selection and the renewal loop —
+// funnels through. It re-validates usability under the current clock
+// immediately before mutating, closing the window where an EphID
+// selected earlier expires (or is reaped by renewal) and would
+// otherwise be relabeled or marked in-use while dead. It reports
+// whether the claim succeeded; on false the pool is unchanged.
+func (h *Host) claim(o *OwnedEphID, g Granularity, app string) bool {
+	if !usable(o, h.cfg.Now()) {
+		return false
+	}
+	switch g {
+	case PerFlow:
+		if o.InUse {
+			return false
+		}
+		o.InUse = true
+	case PerApplication:
+		if o.InUse || (o.App != "" && o.App != app) {
+			return false
+		}
+		o.App = app
+	}
+	return true
+}
+
+// Release returns an EphID to the pool: the per-flow InUse mark clears
+// so the identifier can source a later flow. Idempotent; identifiers
+// that were never claimed are unaffected. Per-application labels
+// persist — the label is the policy, not a lease. Callers who need
+// strict cross-peer unlinkability should Retire instead of re-dialing a
+// released identifier toward a different peer.
+func (h *Host) Release(o *OwnedEphID) {
+	if o == nil || !o.InUse {
+		return
+	}
+	o.InUse = false
+	h.stats.EphIDsReleased++
+}
+
+// Retire removes an EphID from the pool entirely — the teardown for
+// identifiers that must never source another flow (strict per-flow
+// unlinkability) and for superseded EphIDs after renewal migration.
+func (h *Host) Retire(o *OwnedEphID) {
+	if o == nil {
+		return
+	}
+	if _, ok := h.pool[o.Cert.EphID]; !ok {
+		return
+	}
+	delete(h.pool, o.Cert.EphID)
+	for i, p := range h.poolList {
+		if p == o {
+			h.poolList = append(h.poolList[:i], h.poolList[i+1:]...)
+			break
+		}
+	}
+}
+
+// ReapExpired drops expired EphIDs from the pool, returning how many
+// were removed. Expired identifiers cannot pass any border-router
+// check; keeping them only masks starvation (PoolSize looks healthy
+// while every Acquire fails). The lifecycle timer calls this on its
+// cadence; tests may call it directly.
+func (h *Host) ReapExpired() int {
+	now := h.cfg.Now()
+	kept := h.poolList[:0]
+	reaped := 0
+	for _, o := range h.poolList {
+		if o.Cert.Expired(now) {
+			delete(h.pool, o.Cert.EphID)
+			reaped++
+			continue
+		}
+		kept = append(kept, o)
+	}
+	for i := len(kept); i < len(h.poolList); i++ {
+		h.poolList[i] = nil
+	}
+	h.poolList = kept
+	h.stats.EphIDsReaped += uint64(reaped)
+	return reaped
+}
+
+// ExpiringBefore returns the pooled EphIDs whose certificates expire at
+// or before the deadline (Unix seconds), in pool order — the renewal
+// loop's watch list. Receive-only identifiers are included: their
+// renewal is republication, which the caller owns.
+func (h *Host) ExpiringBefore(deadline int64) []*OwnedEphID {
+	var out []*OwnedEphID
+	for _, o := range h.poolList {
+		if int64(o.Cert.ExpTime) <= deadline {
+			out = append(out, o)
+		}
+	}
+	return out
 }
 
 // usable reports whether an EphID can source traffic: unexpired and not
@@ -188,10 +326,14 @@ func usable(o *OwnedEphID, now int64) bool {
 // pickServing returns a sendable EphID for answering connections made
 // to a receive-only identifier (Section VII-A: the server responds with
 // the certificate of a serving EphID, never the receive-only one).
+// EphIDs claimed by the per-flow policy are skipped: answering from an
+// identifier bound to another flow would let an observer link the two
+// flows, breaking the unlinkability that per-flow granularity buys
+// (Section VIII-A).
 func (h *Host) pickServing() *OwnedEphID {
 	now := h.cfg.Now()
 	for _, o := range h.poolList {
-		if usable(o, now) {
+		if usable(o, now) && !o.InUse {
 			return o
 		}
 	}

@@ -60,6 +60,10 @@ type Entry struct {
 	Strikes int
 	// RegisteredAt is the bootstrap time in Unix seconds.
 	RegisteredAt int64
+	// RevokedAt is the Unix time the host was revoked (via RevokeAt), 0
+	// if never revoked or revoked without a timestamp. GC uses it to
+	// reap dead entries once no EphID of the host can still be alive.
+	RevokedAt int64
 }
 
 const shardCount = 64
@@ -227,16 +231,60 @@ func (db *DB) Valid(hid ephid.HID) bool {
 	return e != nil && e.Status == StatusActive
 }
 
-// Revoke marks a host revoked. Unknown HIDs are ignored.
-func (db *DB) Revoke(hid ephid.HID) {
+// Revoke marks a host revoked. Unknown HIDs are ignored. Entries
+// revoked through this path carry no timestamp and are never reaped by
+// GC; use RevokeAt when the revocation time is known.
+func (db *DB) Revoke(hid ephid.HID) { db.RevokeAt(hid, 0) }
+
+// RevokeAt marks a host revoked at the given Unix time, making the
+// entry eligible for GC once the retention window passes. Unknown HIDs
+// are ignored. Re-revoking keeps the earliest recorded time.
+func (db *DB) RevokeAt(hid ephid.HID, nowUnix int64) {
 	s := db.shardFor(hid)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if h, ok := s.load()[hid]; ok {
 		next := *h.e.Load()
 		next.Status = StatusRevoked
+		if next.RevokedAt == 0 {
+			next.RevokedAt = nowUnix
+		}
 		h.e.Store(&next)
 	}
+}
+
+// GC reaps revoked entries whose revocation is older than retention
+// seconds, returning how many were removed. A revoked HID only needs
+// its entry while one of its EphIDs could still be alive — the entry
+// is what distinguishes "revoked" from "unknown", and both fail every
+// data-plane check — so retention is typically the AS's maximum EphID
+// lifetime (Section VIII-G2's revocation-management argument applied
+// to host_info). Entries revoked without a timestamp (RevokedAt 0)
+// are kept forever.
+func (db *DB) GC(nowUnix, retention int64) int {
+	reaped := 0
+	for i := range db.shards {
+		s := &db.shards[i]
+		s.mu.Lock()
+		m := s.load()
+		var dead []ephid.HID
+		for hid, h := range m {
+			e := h.e.Load()
+			if e.Status == StatusRevoked && e.RevokedAt > 0 && e.RevokedAt+retention <= nowUnix {
+				dead = append(dead, hid)
+			}
+		}
+		if len(dead) > 0 {
+			next := m.clone(0)
+			for _, hid := range dead {
+				delete(next, hid)
+			}
+			s.m.Store(&next)
+			reaped += len(dead)
+		}
+		s.mu.Unlock()
+	}
+	return reaped
 }
 
 // AddStrike increments and returns the host's shutoff-strike counter.

@@ -162,3 +162,48 @@ func TestConcurrentAccess(t *testing.T) {
 		t.Errorf("Len = %d", db.Len())
 	}
 }
+
+func TestRevokeAtAndGC(t *testing.T) {
+	db := New()
+	db.Put(Entry{HID: 1})
+	db.Put(Entry{HID: 2})
+	db.Put(Entry{HID: 3})
+
+	db.RevokeAt(2, 1000)
+	db.RevokeAt(2, 2000) // re-revocation keeps the earliest time
+	if e, err := db.Get(2); err != nil || e.Status != StatusRevoked || e.RevokedAt != 1000 {
+		t.Fatalf("entry 2: %+v, %v", e, err)
+	}
+
+	// Inside the retention window: nothing reaped.
+	if n := db.GC(1000+500, 900); n != 0 {
+		t.Errorf("early GC reaped %d", n)
+	}
+	// Past retention: the revoked entry goes; active entries stay.
+	if n := db.GC(1000+900, 900); n != 1 {
+		t.Errorf("GC reaped %d, want 1", n)
+	}
+	if _, err := db.Get(2); err != ErrUnknownHost {
+		t.Errorf("reaped entry still present: %v", err)
+	}
+	if !db.Valid(1) || !db.Valid(3) {
+		t.Error("active entries reaped")
+	}
+	if db.Len() != 2 {
+		t.Errorf("Len = %d", db.Len())
+	}
+}
+
+// TestGCKeepsUntimestampedRevocations: entries revoked through the
+// legacy Revoke (no timestamp) are never auto-reaped.
+func TestGCKeepsUntimestampedRevocations(t *testing.T) {
+	db := New()
+	db.Put(Entry{HID: 1})
+	db.Revoke(1)
+	if n := db.GC(1<<40, 1); n != 0 {
+		t.Errorf("untimestamped revocation reaped (%d)", n)
+	}
+	if _, err := db.Get(1); err != nil {
+		t.Errorf("entry gone: %v", err)
+	}
+}

@@ -16,6 +16,8 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"apna/internal/cert"
 	"apna/internal/crypto"
@@ -30,6 +32,22 @@ var (
 	ErrUnknownHost   = errors.New("ms: unknown or revoked HID")
 	ErrBadRequest    = errors.New("ms: malformed request")
 	ErrDecryptFailed = errors.New("ms: request decryption failed")
+	// ErrForeignPrev means a renewal named a predecessor EphID that does
+	// not belong to the requesting host — either a forgery or an attempt
+	// to launder another host's identifier history.
+	ErrForeignPrev = errors.New("ms: renewal predecessor belongs to another host")
+	// ErrRenewRateLimited means the host exhausted its renewal budget
+	// for the current window. A compromised host churning identifiers to
+	// dodge shutoff strikes hits this wall (Section VIII-G2).
+	ErrRenewRateLimited = errors.New("ms: renewal rate limit exceeded")
+)
+
+// Request flag bits.
+const (
+	// ReqFlagRenew marks a renewal: the request names a predecessor
+	// EphID in Prev, the MS validates it belongs to the same host and
+	// charges the issuance against the host's renewal budget.
+	ReqFlagRenew = 1 << 0
 )
 
 // Request is the plaintext interior of an EphID request message. The
@@ -39,10 +57,15 @@ type Request struct {
 	// Kind of EphID requested (data or receive-only; control EphIDs
 	// come from the RS at bootstrap).
 	Kind ephid.Kind
+	// Flags carries the request flag bits (ReqFlagRenew).
+	Flags byte
 	// Lifetime is the requested validity in seconds; the MS clamps it
 	// to its policy (Section VIII-G1 discusses letting hosts express
 	// expiration-time choices).
 	Lifetime uint32
+	// Prev is the predecessor EphID a renewal succeeds; zero (and
+	// ignored) for plain issuance.
+	Prev ephid.EphID
 	// DHPub is the X25519 public key to bind to the EphID.
 	DHPub [crypto.X25519PublicKeySize]byte
 	// SigPub is the Ed25519 public key to bind to the EphID.
@@ -50,13 +73,17 @@ type Request struct {
 }
 
 // RequestSize is the encoded request size.
-const RequestSize = 1 + 4 + crypto.X25519PublicKeySize + crypto.SigningPublicKeySize
+const RequestSize = 1 + 1 + 4 + ephid.Size + crypto.X25519PublicKeySize + crypto.SigningPublicKeySize
+
+// Renewing reports whether the request is a renewal.
+func (r *Request) Renewing() bool { return r.Flags&ReqFlagRenew != 0 }
 
 // Encode serializes the request.
 func (r *Request) Encode() []byte {
 	buf := make([]byte, 0, RequestSize)
-	buf = append(buf, byte(r.Kind))
+	buf = append(buf, byte(r.Kind), r.Flags)
 	buf = binary.BigEndian.AppendUint32(buf, r.Lifetime)
+	buf = append(buf, r.Prev[:]...)
 	buf = append(buf, r.DHPub[:]...)
 	buf = append(buf, r.SigPub[:]...)
 	return buf
@@ -69,9 +96,14 @@ func DecodeRequest(data []byte) (*Request, error) {
 	}
 	var r Request
 	r.Kind = ephid.Kind(data[0])
-	r.Lifetime = binary.BigEndian.Uint32(data[1:])
-	copy(r.DHPub[:], data[5:])
-	copy(r.SigPub[:], data[5+crypto.X25519PublicKeySize:])
+	r.Flags = data[1]
+	r.Lifetime = binary.BigEndian.Uint32(data[2:])
+	off := 6
+	copy(r.Prev[:], data[off:])
+	off += ephid.Size
+	copy(r.DHPub[:], data[off:])
+	off += crypto.X25519PublicKeySize
+	copy(r.SigPub[:], data[off:])
 	return &r, nil
 }
 
@@ -83,12 +115,30 @@ type Policy struct {
 	DefaultLifetime uint32
 	// MaxLifetime caps requests.
 	MaxLifetime uint32
+	// RenewBurst is how many renewals one host may perform per
+	// RenewWindow seconds. Zero disables the limit. Rate-limiting
+	// renewals (but not plain issuance, which is bounded by pool policy)
+	// keeps a compromised host from churning identifiers faster than
+	// shutoff strikes can accumulate against them (Section VIII-G2).
+	RenewBurst int
+	// RenewWindow is the renewal rate-limit window in seconds; 0 falls
+	// back to DefaultRenewWindow when RenewBurst is set.
+	RenewWindow uint32
 }
 
+// DefaultRenewWindow is the renewal rate-limit window when a policy
+// sets RenewBurst but no window.
+const DefaultRenewWindow uint32 = 60
+
 // DefaultPolicy matches the paper's 15-minute per-flow guidance with a
-// 24-hour ceiling for receive-only (DNS-published) identifiers.
+// 24-hour ceiling for receive-only (DNS-published) identifiers, and a
+// renewal budget generous enough for every live flow of a busy host to
+// roll over each minute without ever unthrottling identifier churn.
 func DefaultPolicy() Policy {
-	return Policy{DefaultLifetime: 15 * 60, MaxLifetime: 24 * 3600}
+	return Policy{
+		DefaultLifetime: 15 * 60, MaxLifetime: 24 * 3600,
+		RenewBurst: 64, RenewWindow: DefaultRenewWindow,
+	}
 }
 
 // Clamp applies the policy to a requested lifetime.
@@ -113,6 +163,22 @@ type Service struct {
 
 	// Issued counts successfully issued EphIDs.
 	issued func()
+
+	// renewMu guards the per-host renewal rate-limit windows; renewals
+	// are control-plane events, so a mutex is fine here where the
+	// issuance path itself stays lock-free.
+	renewMu sync.Mutex
+	renews  map[ephid.HID]*renewWindow
+
+	renewed     atomic.Uint64
+	renewDenied atomic.Uint64
+}
+
+// renewWindow is one host's renewal budget accounting: renewals used
+// since the window started.
+type renewWindow struct {
+	start int64
+	used  int
 }
 
 // New creates the service. aaEphID is embedded in every certificate so
@@ -122,12 +188,55 @@ func New(aid ephid.AID, sealer *ephid.Sealer, signer *crypto.Signer, db *hostdb.
 	return &Service{
 		aid: aid, sealer: sealer, signer: signer, db: db,
 		policy: policy, aaEphID: aaEphID, now: now, issued: func() {},
+		renews: make(map[ephid.HID]*renewWindow),
 	}
 }
 
 // SetIssuedHook installs a callback fired per successful issuance
 // (metrics).
 func (s *Service) SetIssuedHook(fn func()) { s.issued = fn }
+
+// Renewed reports how many issuances went through the renewal path.
+func (s *Service) Renewed() uint64 { return s.renewed.Load() }
+
+// RenewDenied reports how many renewals the rate limiter rejected.
+func (s *Service) RenewDenied() uint64 { return s.renewDenied.Load() }
+
+// checkRenewal validates and charges a renewal: the predecessor EphID
+// must decrypt under this AS's key to the same HID as the requesting
+// control EphID (a host can only renew its own identifiers), and the
+// host must have renewal budget left in the current window. The
+// predecessor may already be expired — renewing an identifier that
+// lapsed while its flow idled is exactly the recovery path.
+func (s *Service) checkRenewal(hid ephid.HID, req *Request, now int64) error {
+	pp, err := s.sealer.Open(req.Prev)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrBadEphID, err)
+	}
+	if pp.HID != hid {
+		return ErrForeignPrev
+	}
+	if s.policy.RenewBurst <= 0 {
+		return nil
+	}
+	window := int64(s.policy.RenewWindow)
+	if window == 0 {
+		window = int64(DefaultRenewWindow)
+	}
+	s.renewMu.Lock()
+	defer s.renewMu.Unlock()
+	w := s.renews[hid]
+	if w == nil || now-w.start >= window {
+		w = &renewWindow{start: now}
+		s.renews[hid] = w
+	}
+	if w.used >= s.policy.RenewBurst {
+		s.renewDenied.Add(1)
+		return ErrRenewRateLimited
+	}
+	w.used++
+	return nil
+}
 
 // HandleRequest implements Figure 3. srcEphID is the source EphID of
 // the request packet (the host's control EphID) and ciphertext the
@@ -163,10 +272,22 @@ func (s *Service) HandleRequest(srcEphID ephid.EphID, ciphertext []byte) ([]byte
 	if err != nil {
 		return nil, err
 	}
+	if req.Renewing() {
+		if err := s.checkRenewal(p.HID, req, now); err != nil {
+			// The requester is authenticated and its request well
+			// formed, so the denial is answered, not dropped: the host
+			// matches replies to requests FIFO, and a silent drop would
+			// desynchronize every later reply on that host.
+			return s.sealReply(encKey[:], srcEphID, statusOf(err), nil)
+		}
+	}
 
 	c, err := s.Issue(p.HID, req)
 	if err != nil {
 		return nil, err
+	}
+	if req.Renewing() {
+		s.renewed.Add(1)
 	}
 
 	// Encrypt the certificate so observers cannot link the new EphID
@@ -176,15 +297,37 @@ func (s *Service) HandleRequest(srcEphID ephid.EphID, ciphertext []byte) ([]byte
 	if err != nil {
 		return nil, err
 	}
-	replyAEAD, err := crypto.NewAEAD(encKey[:], 1)
+	return s.sealReply(encKey[:], srcEphID, replyStatusOK, raw)
+}
+
+// Reply status codes, the first byte of the decrypted reply.
+const (
+	replyStatusOK          = 0
+	replyStatusRateLimited = 1
+	replyStatusForeignPrev = 2
+)
+
+// statusOf maps a denial error to its wire status. A predecessor that
+// fails authentication reads the same as a foreign one: either way it
+// is not an identifier this host may renew.
+func statusOf(err error) byte {
+	if errors.Is(err, ErrRenewRateLimited) {
+		return replyStatusRateLimited
+	}
+	return replyStatusForeignPrev
+}
+
+// sealReply encrypts a status byte plus optional certificate under the
+// host's kHA key, bound to the requesting control EphID.
+func (s *Service) sealReply(encKey []byte, srcEphID ephid.EphID, status byte, raw []byte) ([]byte, error) {
+	replyAEAD, err := crypto.NewAEAD(encKey, 1)
 	if err != nil {
 		return nil, err
 	}
-	reply, err := replyAEAD.Seal(nil, raw, srcEphID[:])
-	if err != nil {
-		return nil, err
-	}
-	return reply, nil
+	plain := make([]byte, 0, 1+len(raw))
+	plain = append(plain, status)
+	plain = append(plain, raw...)
+	return replyAEAD.Seal(nil, plain, srcEphID[:])
 }
 
 // Issue mints and certifies an EphID for an already-validated host.
@@ -204,7 +347,10 @@ func (s *Service) Issue(hid ephid.HID, req *Request) (*cert.Cert, error) {
 }
 
 // DecodeReply is the host-side decryption of the MS reply: it recovers
-// and parses the certificate using the host's kHA encryption key.
+// the status byte and, on success, parses the certificate using the
+// host's kHA encryption key. Denials come back as typed errors
+// (ErrRenewRateLimited, ErrForeignPrev) so requesters can distinguish
+// throttling from protocol failures.
 func DecodeReply(encKey []byte, srcEphID ephid.EphID, reply []byte) (*cert.Cert, error) {
 	aead, err := crypto.NewAEAD(encKey, 0)
 	if err != nil {
@@ -214,8 +360,20 @@ func DecodeReply(encKey []byte, srcEphID ephid.EphID, reply []byte) (*cert.Cert,
 	if err != nil {
 		return nil, fmt.Errorf("ms: reply decryption failed: %w", err)
 	}
+	if len(plain) < 1 {
+		return nil, ErrBadRequest
+	}
+	switch plain[0] {
+	case replyStatusOK:
+	case replyStatusRateLimited:
+		return nil, ErrRenewRateLimited
+	case replyStatusForeignPrev:
+		return nil, ErrForeignPrev
+	default:
+		return nil, fmt.Errorf("%w: reply status %d", ErrBadRequest, plain[0])
+	}
 	var c cert.Cert
-	if err := c.UnmarshalBinary(plain); err != nil {
+	if err := c.UnmarshalBinary(plain[1:]); err != nil {
 		return nil, err
 	}
 	return &c, nil

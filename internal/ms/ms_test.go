@@ -5,6 +5,7 @@ import (
 	"errors"
 	"testing"
 
+	"apna/internal/cert"
 	"apna/internal/crypto"
 	"apna/internal/ephid"
 	"apna/internal/hostdb"
@@ -230,5 +231,155 @@ func TestDecodeReplyGarbage(t *testing.T) {
 	f := newFixture(t)
 	if _, err := DecodeReply(f.keys.Enc[:], f.ctrlID, []byte("junk-reply-bytes-too-short")); err == nil {
 		t.Error("garbage reply accepted")
+	}
+}
+
+// renewalExchange runs one renewal round trip against the fixture's
+// service, returning the host-side decode result.
+func (f *fixture) renewalExchange(t *testing.T, req *Request) (*cert.Cert, error) {
+	t.Helper()
+	ct, err := EncodeRequest(f.keys.Enc[:], f.ctrlID, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reply, err := f.svc.HandleRequest(f.ctrlID, ct)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeReply(f.keys.Enc[:], f.ctrlID, reply)
+}
+
+func TestRenewalEndToEnd(t *testing.T) {
+	f := newFixture(t)
+	prev := f.sealer.Mint(ephid.Payload{HID: f.hid, ExpTime: uint32(f.now) + 30})
+	req, _, _ := sampleRequest(t)
+	req.Flags = ReqFlagRenew
+	req.Prev = prev
+
+	c, err := f.renewalExchange(t, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.EphID == prev {
+		t.Error("renewal returned the predecessor")
+	}
+	if p, err := f.sealer.Open(c.EphID); err != nil || p.HID != f.hid {
+		t.Errorf("successor payload: %+v, %v", p, err)
+	}
+	if got := f.svc.Renewed(); got != 1 {
+		t.Errorf("Renewed = %d", got)
+	}
+}
+
+// TestRenewalOfExpiredPredecessor: renewing an identifier that lapsed
+// while its flow idled is the recovery path and must succeed.
+func TestRenewalOfExpiredPredecessor(t *testing.T) {
+	f := newFixture(t)
+	req, _, _ := sampleRequest(t)
+	req.Flags = ReqFlagRenew
+	req.Prev = f.sealer.Mint(ephid.Payload{HID: f.hid, ExpTime: uint32(f.now) - 100})
+	if _, err := f.renewalExchange(t, req); err != nil {
+		t.Fatalf("expired-predecessor renewal: %v", err)
+	}
+}
+
+// TestRenewalForeignPredecessor: a host cannot renew another host's
+// identifier; the denial comes back as a typed reply, not a silent
+// drop (silent drops would desynchronize the host's FIFO reply
+// matching).
+func TestRenewalForeignPredecessor(t *testing.T) {
+	f := newFixture(t)
+	f.db.Put(hostdb.Entry{HID: 99, Keys: crypto.DeriveHostASKeys([]byte("other"))})
+	req, _, _ := sampleRequest(t)
+	req.Flags = ReqFlagRenew
+	req.Prev = f.sealer.Mint(ephid.Payload{HID: 99, ExpTime: uint32(f.now) + 600})
+	if _, err := f.renewalExchange(t, req); !errors.Is(err, ErrForeignPrev) {
+		t.Errorf("foreign predecessor: %v", err)
+	}
+	if got := f.svc.Renewed(); got != 0 {
+		t.Errorf("Renewed = %d after denial", got)
+	}
+}
+
+// TestRenewalForgedPredecessor: a fabricated Prev fails the sealer's
+// authentication. The requester itself IS authenticated (the request
+// decrypted under its kHA), so the denial comes back as a typed reply
+// — like every denial, because a silent drop would desynchronize the
+// host's FIFO reply matching.
+func TestRenewalForgedPredecessor(t *testing.T) {
+	f := newFixture(t)
+	req, _, _ := sampleRequest(t)
+	req.Flags = ReqFlagRenew
+	req.Prev = ephid.EphID{1, 2, 3}
+	if _, err := f.renewalExchange(t, req); !errors.Is(err, ErrForeignPrev) {
+		t.Errorf("forged predecessor: %v", err)
+	}
+}
+
+func TestRenewalRateLimit(t *testing.T) {
+	f := newFixture(t)
+	f.svc.policy.RenewBurst = 3
+	f.svc.policy.RenewWindow = 60
+
+	renew := func() error {
+		req, _, _ := sampleRequest(t)
+		req.Flags = ReqFlagRenew
+		req.Prev = f.sealer.Mint(ephid.Payload{HID: f.hid, ExpTime: uint32(f.now) + 600})
+		_, err := f.renewalExchange(t, req)
+		return err
+	}
+	for i := 0; i < 3; i++ {
+		if err := renew(); err != nil {
+			t.Fatalf("renewal %d: %v", i, err)
+		}
+	}
+	if err := renew(); !errors.Is(err, ErrRenewRateLimited) {
+		t.Fatalf("over budget: %v", err)
+	}
+	if got := f.svc.RenewDenied(); got != 1 {
+		t.Errorf("RenewDenied = %d", got)
+	}
+	// The window rolls over and the budget refills.
+	f.now += 61
+	if err := renew(); err != nil {
+		t.Errorf("after window rollover: %v", err)
+	}
+	// Plain issuance is never rate limited.
+	req, _, _ := sampleRequest(t)
+	ct, err := EncodeRequest(f.keys.Enc[:], f.ctrlID, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.svc.HandleRequest(f.ctrlID, ct); err != nil {
+		t.Errorf("plain issuance throttled: %v", err)
+	}
+}
+
+func TestRenewalRateLimitDisabled(t *testing.T) {
+	f := newFixture(t)
+	f.svc.policy.RenewBurst = 0
+	for i := 0; i < 50; i++ {
+		req, _, _ := sampleRequest(t)
+		req.Flags = ReqFlagRenew
+		req.Prev = f.sealer.Mint(ephid.Payload{HID: f.hid, ExpTime: uint32(f.now) + 600})
+		if _, err := f.renewalExchange(t, req); err != nil {
+			t.Fatalf("renewal %d with limit disabled: %v", i, err)
+		}
+	}
+}
+
+func TestRequestCodecRenewal(t *testing.T) {
+	req, _, _ := sampleRequest(t)
+	req.Flags = ReqFlagRenew
+	req.Prev = ephid.EphID{9, 8, 7}
+	got, err := DecodeRequest(req.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got != *req {
+		t.Errorf("roundtrip: %+v vs %+v", got, req)
+	}
+	if !got.Renewing() {
+		t.Error("renew flag lost")
 	}
 }

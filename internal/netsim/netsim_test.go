@@ -309,3 +309,91 @@ func TestRoutesReachabilityProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestTimerFiresInOrderWithEvents(t *testing.T) {
+	s := New(1)
+	var log []string
+	s.Every(10*time.Millisecond, func() { log = append(log, "tick@"+s.Now().String()) })
+	s.Schedule(25*time.Millisecond, func() { log = append(log, "ev@"+s.Now().String()) })
+	s.Run(100)
+	want := []string{"tick@10ms", "tick@20ms", "ev@25ms"}
+	if len(log) != len(want) {
+		t.Fatalf("log = %v", log)
+	}
+	for i := range want {
+		if log[i] != want[i] {
+			t.Errorf("log[%d] = %q, want %q", i, log[i], want[i])
+		}
+	}
+}
+
+// TestTimerDoesNotPreventIdleness: with an empty event queue, Step and
+// Run refuse to fire timers — quiescence is defined by real events, so
+// maintenance timers cannot keep a drained timeline alive forever.
+func TestTimerDoesNotPreventIdleness(t *testing.T) {
+	s := New(1)
+	fired := 0
+	s.Every(time.Millisecond, func() { fired++ })
+	if n := s.Run(1000); n != 0 || fired != 0 {
+		t.Errorf("empty-queue run executed %d events, %d ticks", n, fired)
+	}
+	if s.Step() {
+		t.Error("Step fired against an empty queue")
+	}
+}
+
+// TestTimerSweepsIdleGapsUnderRunUntil: RunUntil explicitly passes
+// virtual time, so due timers fire across gaps with no queued events —
+// how scheduled GC and renewal checks run through quiet periods.
+func TestTimerSweepsIdleGapsUnderRunUntil(t *testing.T) {
+	s := New(1)
+	fired := 0
+	s.Every(10*time.Second, func() { fired++ })
+	s.RunUntil(35 * time.Second)
+	if fired != 3 {
+		t.Errorf("fired %d, want 3", fired)
+	}
+	if s.Now() != 35*time.Second {
+		t.Errorf("now = %v", s.Now())
+	}
+}
+
+func TestTimerStop(t *testing.T) {
+	s := New(1)
+	fired := 0
+	tm := s.Every(10*time.Second, func() { fired++ })
+	s.RunUntil(15 * time.Second)
+	tm.Stop()
+	tm.Stop() // idempotent
+	s.RunUntil(100 * time.Second)
+	if fired != 1 {
+		t.Errorf("fired %d after stop, want 1", fired)
+	}
+}
+
+// TestTimerCallbackSchedulesEvents: a timer that schedules real work
+// (the renewal pattern) has that work executed in the same sweep.
+func TestTimerCallbackSchedulesEvents(t *testing.T) {
+	s := New(1)
+	ran := 0
+	s.Every(10*time.Second, func() {
+		s.Schedule(time.Millisecond, func() { ran++ })
+	})
+	s.RunUntil(25 * time.Second)
+	if ran != 2 {
+		t.Errorf("scheduled work ran %d times, want 2", ran)
+	}
+}
+
+// TestTimerTieBreak: a timer due exactly when an event is due fires
+// first, so maintenance precedes the traffic it gates.
+func TestTimerTieBreak(t *testing.T) {
+	s := New(1)
+	var log []string
+	s.Schedule(10*time.Millisecond, func() { log = append(log, "ev") })
+	s.Every(10*time.Millisecond, func() { log = append(log, "tick") })
+	s.Run(10)
+	if len(log) != 2 || log[0] != "tick" || log[1] != "ev" {
+		t.Errorf("log = %v", log)
+	}
+}

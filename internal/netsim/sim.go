@@ -25,6 +25,7 @@ type Simulator struct {
 	now    time.Duration // virtual time since simulation start
 	seq    uint64        // tie-breaker for events at equal times
 	queue  eventQueue
+	timers timerQueue
 	rng    *rand.Rand
 	epoch  int64 // Unix seconds corresponding to virtual time zero
 	events uint64
@@ -78,17 +79,47 @@ func (s *Simulator) PeekNext() (time.Duration, bool) {
 	return s.queue[0].at, true
 }
 
-// Step executes the single next event, returning false if the queue is
-// empty.
+// Step executes the single next event — a queued event or a recurring
+// timer firing, whichever is due first — returning false if the event
+// queue is empty. Timers never fire against an empty queue: quiescence
+// ("nothing left to simulate") is defined by real events, so maintenance
+// timers cannot keep a drained timeline alive. Use RunUntil / RunFor to
+// sweep timers across idle gaps when a scenario explicitly passes time.
 func (s *Simulator) Step() bool {
 	if s.queue.Len() == 0 {
 		return false
+	}
+	if t := s.dueTimer(s.queue[0].at); t != nil {
+		s.fireTimer(t)
+		return true
 	}
 	ev := heap.Pop(&s.queue).(*event)
 	s.now = ev.at
 	s.events++
 	ev.fn()
 	return true
+}
+
+// dueTimer returns the earliest running timer due at or before `at`, or
+// nil. Ties go to the timer so maintenance runs before the traffic it
+// gates (e.g. a renewal fires before the packet that needed it).
+func (s *Simulator) dueTimer(at time.Duration) *Timer {
+	if s.timers.Len() == 0 || s.timers[0].due > at {
+		return nil
+	}
+	return s.timers[0]
+}
+
+// fireTimer advances the clock to the timer's deadline, runs its
+// callback, and reschedules the next occurrence.
+func (s *Simulator) fireTimer(t *Timer) {
+	s.now = t.due
+	s.events++
+	t.due += t.interval
+	s.seq++
+	t.seq = s.seq
+	heap.Fix(&s.timers, 0)
+	t.fn()
 }
 
 // Run executes events until the queue is empty or the budget of steps is
@@ -102,18 +133,87 @@ func (s *Simulator) Run(budget int) int {
 	return n
 }
 
-// RunUntil executes events with timestamps at or before the deadline
-// (virtual time since start).
+// RunUntil executes events and recurring timers with timestamps at or
+// before the deadline (virtual time since start). Unlike Step, timers
+// fire here even when the event queue is empty: the caller is explicitly
+// passing virtual time, so scheduled maintenance (EphID renewal checks,
+// revocation GC) happens across idle gaps exactly as it would under
+// live traffic.
 func (s *Simulator) RunUntil(deadline time.Duration) int {
 	n := 0
-	for s.queue.Len() > 0 && s.queue[0].at <= deadline {
-		s.Step()
+	for {
+		next := deadline + 1
+		if s.queue.Len() > 0 {
+			next = s.queue[0].at
+		}
+		timerFirst := s.timers.Len() > 0 && s.timers[0].due <= next
+		if timerFirst {
+			next = s.timers[0].due
+		}
+		if next > deadline {
+			break
+		}
+		if timerFirst {
+			s.fireTimer(s.timers[0])
+		} else {
+			ev := heap.Pop(&s.queue).(*event)
+			s.now = ev.at
+			s.events++
+			ev.fn()
+		}
 		n++
 	}
 	if s.now < deadline {
 		s.now = deadline
 	}
 	return n
+}
+
+// Timer is a recurring virtual-time callback created by Every. It fires
+// interleaved with ordinary events in strict time order; see Step and
+// RunUntil for when due timers actually run.
+type Timer struct {
+	due      time.Duration
+	seq      uint64
+	index    int // heap position, -1 when stopped
+	interval time.Duration
+	fn       func()
+	queue    *timerQueue
+}
+
+// Every schedules fn to run every interval of virtual time, first at
+// now+interval. It panics on non-positive intervals (a zero-interval
+// timer would livelock the clock). Stop the returned Timer to cancel.
+func (s *Simulator) Every(interval time.Duration, fn func()) *Timer {
+	if interval <= 0 {
+		panic(fmt.Sprintf("netsim: non-positive timer interval %v", interval))
+	}
+	s.seq++
+	t := &Timer{due: s.now + interval, seq: s.seq, interval: interval, fn: fn, queue: &s.timers}
+	heap.Push(&s.timers, t)
+	return t
+}
+
+// Stop cancels the timer. Safe to call more than once.
+func (t *Timer) Stop() {
+	if t.index < 0 {
+		return
+	}
+	// The owning simulator's heap holds the timer; remove by index.
+	t.heapRemove()
+}
+
+// heapRemove detaches the timer from its queue. Timers keep their heap
+// index up to date through timerQueue's Swap, so removal is O(log n)
+// without a back-pointer to the simulator.
+func (t *Timer) heapRemove() {
+	q := t.queue
+	if q == nil || t.index < 0 {
+		return
+	}
+	heap.Remove(q, t.index)
+	t.index = -1
+	t.queue = nil
 }
 
 // Pending reports the number of queued events.
@@ -146,4 +246,35 @@ func (q *eventQueue) Pop() any {
 	old[n-1] = nil
 	*q = old[:n-1]
 	return ev
+}
+
+// timerQueue is the min-heap of recurring timers, ordered like the
+// event queue (time, then creation sequence).
+type timerQueue []*Timer
+
+func (q timerQueue) Len() int { return len(q) }
+func (q timerQueue) Less(i, j int) bool {
+	if q[i].due != q[j].due {
+		return q[i].due < q[j].due
+	}
+	return q[i].seq < q[j].seq
+}
+func (q timerQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *timerQueue) Push(x any) {
+	t := x.(*Timer)
+	t.index = len(*q)
+	*q = append(*q, t)
+}
+func (q *timerQueue) Pop() any {
+	old := *q
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	t.index = -1
+	*q = old[:n-1]
+	return t
 }

@@ -26,6 +26,7 @@ type Topology struct {
 	links     []topoLink
 	attackers []topoAttacker
 	chaos     *ChaosConfig
+	lifetimes *Lifetimes
 	errs      []error
 }
 
@@ -116,6 +117,16 @@ func WithAttacker(aid AID, name string) TopologyOption {
 	return func(t *Topology) { t.Attacker(aid, name) }
 }
 
+// WithLifetimes starts the EphID lifecycle engine on the built
+// internet: host pools are watched on lt.CheckInterval, identifiers
+// entering the renewal lead window are renewed through the MS's
+// rate-limited renewal path with live flows migrated to the successor,
+// and revocation-list plus host_info GC runs on lt.GCInterval. Zero
+// fields take DefaultLifetimes values.
+func WithLifetimes(lt Lifetimes) TopologyOption {
+	return func(t *Topology) { t.Lifetimes(lt) }
+}
+
 // NewTopology returns an empty topology for the chainable method API;
 // most callers use New with options instead.
 func NewTopology() *Topology { return &Topology{} }
@@ -147,6 +158,12 @@ func (t *Topology) Chaos(cfg ChaosConfig) *Topology {
 // Attacker declares a named attacker attached to an AS.
 func (t *Topology) Attacker(aid AID, name string) *Topology {
 	t.attackers = append(t.attackers, topoAttacker{aid: aid, name: name})
+	return t
+}
+
+// Lifetimes stores the lifecycle-engine configuration.
+func (t *Topology) Lifetimes(lt Lifetimes) *Topology {
+	t.lifetimes = &lt
 	return t
 }
 
@@ -280,6 +297,14 @@ func (t *Topology) Validate() error {
 			}
 		}
 	}
+	if lt := t.lifetimes; lt != nil {
+		for _, d := range []time.Duration{lt.RenewLead, lt.CheckInterval, lt.GCInterval,
+			lt.MigrateRetry, lt.RevokedRetention} {
+			if d < 0 {
+				return fmt.Errorf("%w: negative lifecycle duration %v", ErrBadTopology, d)
+			}
+		}
+	}
 	return nil
 }
 
@@ -325,6 +350,9 @@ func (t *Topology) Build(seed int64) (*Internet, error) {
 		if _, err := in.AddAttacker(a.aid, a.name); err != nil {
 			return nil, err
 		}
+	}
+	if t.lifetimes != nil {
+		in.StartLifecycle(*t.lifetimes)
 	}
 	return in, nil
 }

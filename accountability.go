@@ -1,0 +1,158 @@
+package apna
+
+import (
+	"encoding/binary"
+	"errors"
+	"time"
+
+	"apna/internal/accountability"
+	"apna/internal/host"
+	"apna/internal/wire"
+)
+
+// The inter-domain accountability plane, at the facade level. Every AS
+// built by this package carries an accountability engine
+// (internal/accountability) next to its agent: victims complain to
+// their *own* AS, which verifies the complaint and carries the shutoff
+// across the border to the offender's AS; the offender's AS answers
+// with a signed receipt and floods revocation digests so every border
+// in the internet drops the revoked sender's frames. Host.Complain /
+// ComplainAsync file complaints; StartAccountability (or the
+// WithAccountability topology option) turns on periodic digest
+// dissemination; OnAccountability observes the whole plane.
+
+// Re-exported inter-domain accountability types.
+type (
+	// ShutoffReceipt is the source AS's signed answer to a cross-AS
+	// shutoff request, verified end-to-end against its RPKI key.
+	ShutoffReceipt = accountability.Receipt
+	// ShutoffStatus classifies a receipt's outcome.
+	ShutoffStatus = accountability.Status
+	// AcctEvent is one accountability-plane action (complaint, forward,
+	// shutoff, receipt, digest flush/install).
+	AcctEvent = accountability.Event
+	// AcctStats counts one AS engine's accountability-plane activity.
+	AcctStats = accountability.Stats
+)
+
+// Re-exported receipt statuses.
+const (
+	// ShutoffRevoked: the EphID was revoked by this request.
+	ShutoffRevoked = accountability.StatusRevoked
+	// ShutoffAlreadyRevoked: the EphID (or its host) was already
+	// revoked — a no-op receipt.
+	ShutoffAlreadyRevoked = accountability.StatusAlreadyRevoked
+	// ShutoffExpiredNoOp: the EphID had already expired — a no-op
+	// receipt.
+	ShutoffExpiredNoOp = accountability.StatusExpiredNoOp
+	// ShutoffRejected: the complaint failed verification.
+	ShutoffRejected = accountability.StatusRejected
+)
+
+// ErrComplaintRejected means the accountability plane closed a
+// complaint without a receipt: the victim-side agent refused to forward
+// it (invalid proof), or the source agent dropped it as inauthentic.
+var ErrComplaintRejected = errors.New("apna: complaint rejected by the accountability plane")
+
+// DefaultDigestInterval is the revocation-digest dissemination cadence
+// StartAccountability uses when given a non-positive interval.
+const DefaultDigestInterval = 30 * time.Second
+
+// StartAccountability starts periodic revocation-digest dissemination:
+// every interval of virtual time, each AS's accountability engine
+// floods a signed, cumulative digest of its live revocations to every
+// peer agent, and each receiver installs the entries into its border
+// routers' remote revocation lists. Calling it again replaces the
+// previous timer. A non-positive interval selects
+// DefaultDigestInterval. Complaints and receipts work without it —
+// only cross-internet dissemination to uninvolved ASes needs the
+// timer.
+func (in *Internet) StartAccountability(interval time.Duration) {
+	if interval <= 0 {
+		interval = DefaultDigestInterval
+	}
+	if in.acctTimer != nil {
+		in.acctTimer.Stop()
+	}
+	in.acctTimer = in.Sim.Every(interval, func() {
+		for _, as := range in.ASes() {
+			as.Acct.FlushDigest()
+		}
+	})
+}
+
+// StopAccountability cancels digest dissemination. Engines keep
+// answering complaints and installing receipts.
+func (in *Internet) StopAccountability() {
+	if in.acctTimer != nil {
+		in.acctTimer.Stop()
+		in.acctTimer = nil
+	}
+}
+
+// OnAccountability installs an observer for every accountability-plane
+// event across all ASes (Event.AID identifies the engine). Scenario
+// referees use it to timestamp revocations and digest installations.
+func (in *Internet) OnAccountability(fn func(AcctEvent)) { in.acctObserver = fn }
+
+// ComplainAsync files a complaint about the flow that delivered m with
+// this host's own accountability agent, without driving the simulator.
+// The future resolves with the offending AS's signed receipt — verified
+// end-to-end against that AS's RPKI key — once the cross-AS exchange
+// completes, or with ErrComplaintRejected if the plane refused the
+// complaint.
+func (h *Host) ComplainAsync(m host.Message) *Pending[*ShutoffReceipt] {
+	agent, seq, err := h.Stack.RequestComplaint(m)
+	if err != nil {
+		return failedPending[*ShutoffReceipt](err)
+	}
+	p := newPending[*ShutoffReceipt]()
+	key := complaintKey{agent: agent, seq: seq}
+	h.complaints[key] = p
+	// A complaint whose ack the chaos ate must not linger once the
+	// timeline drains.
+	p.onIdleAbandon = func() { delete(h.complaints, key) }
+	h.as.in.registerLive(p)
+	return p
+}
+
+// Complain synchronously files a complaint and returns the offending
+// AS's verified receipt.
+func (h *Host) Complain(m host.Message) (*ShutoffReceipt, error) {
+	return AwaitResult(h.as.in, h.ComplainAsync(m))
+}
+
+// handleComplaintAck resolves complaint futures from MsgComplaintAck
+// frames by the sequence number the agent echoes — receipts from
+// different offenders' ASes arrive in arbitrary order, so concurrent
+// complaints must not be matched FIFO. The receipt signature is
+// verified here — end to end, at the complaining host — before the
+// future resolves.
+func (h *Host) handleComplaintAck(hdr *wire.Header, payload []byte) {
+	if len(payload) < 10 || payload[0] != accountability.MsgComplaintAck {
+		return
+	}
+	key := complaintKey{
+		agent: Endpoint{AID: hdr.SrcAID, EphID: hdr.SrcEphID},
+		seq:   binary.BigEndian.Uint64(payload[1:9]),
+	}
+	p, ok := h.complaints[key]
+	if !ok {
+		return // late duplicate, or the future was abandoned at idle
+	}
+	delete(h.complaints, key)
+	if payload[9] == 0 {
+		p.complete(nil, ErrComplaintRejected)
+		return
+	}
+	rcpt, err := accountability.DecodeReceipt(payload[10:])
+	if err != nil {
+		p.complete(nil, err)
+		return
+	}
+	if err := rcpt.Verify(h.as.in.Trust, h.as.in.Sim.NowUnix()); err != nil {
+		p.complete(nil, err)
+		return
+	}
+	p.complete(rcpt, nil)
+}

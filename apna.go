@@ -164,6 +164,12 @@ type Internet struct {
 	// lifecycle, when non-nil, is the running EphID lifecycle engine
 	// (StartLifecycle / WithLifetimes).
 	lifecycle *Lifecycle
+	// acctObserver, when non-nil, observes every accountability-plane
+	// event across all AS engines (OnAccountability).
+	acctObserver func(AcctEvent)
+	// acctTimer, when non-nil, is the running revocation-digest
+	// dissemination timer (StartAccountability / WithAccountability).
+	acctTimer *netsim.Timer
 }
 
 // NewInternet creates an empty internet with default options.
@@ -279,12 +285,21 @@ func (in *Internet) SetInterASChaos(cfg ChaosConfig) {
 }
 
 // Build computes inter-domain routes and installs them on every border
-// router. Call it after all Connect calls; hosts can be added at any
-// time.
+// router, and introduces every accountability engine to its peers so
+// revocation digests can flood the whole internet. Call it after all
+// Connect calls; hosts can be added at any time.
 func (in *Internet) Build() error {
 	tables := netsim.ComputeAllRoutes(in.adjacency)
 	for aid, as := range in.ases {
 		as.Router.SetRoutes(tables[aid])
+	}
+	for _, a := range in.ases {
+		for _, b := range in.ases {
+			if a != b {
+				_, _, aaEp := b.ServiceEndpoints()
+				a.Acct.RegisterPeer(b.AID, aaEp.EphID)
+			}
+		}
 	}
 	in.built = true
 	return nil

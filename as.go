@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"apna/internal/aa"
+	"apna/internal/accountability"
 	"apna/internal/border"
 	"apna/internal/crypto"
 	"apna/internal/dns"
@@ -29,6 +30,9 @@ type AS struct {
 	MS *ms.Service
 	// Agent is the accountability agent.
 	Agent *aa.Agent
+	// Acct is the inter-domain accountability engine: cross-AS shutoff
+	// requests, signed receipts, and revocation-digest dissemination.
+	Acct *accountability.Engine
 	// Router is the border router.
 	Router *border.Router
 	// DB is the AS's host_info database.
@@ -120,6 +124,20 @@ func (in *Internet) AddAS(aid AID) (*AS, error) {
 		sealer, as.DB, secret, in.Trust, now)
 	as.Agent.AddRouter(as.Router)
 
+	// The inter-domain accountability plane: cross-AS complaints flow
+	// through it, and every local revocation (shutoff-driven or
+	// voluntary) feeds its dissemination digests via the agent's hook.
+	as.Acct = accountability.New(accountability.Config{
+		AID: aid, Signer: signer, Trust: in.Trust, Agent: as.Agent, Now: now,
+	})
+	as.Acct.AddRouter(as.Router)
+	as.Agent.SetRevocationHook(as.Acct.NoteRevoked)
+	as.Acct.SetObserver(func(ev accountability.Event) {
+		if in.acctObserver != nil {
+			in.acctObserver(ev)
+		}
+	})
+
 	if err := as.mountServices(); err != nil {
 		return nil, err
 	}
@@ -185,6 +203,15 @@ func (as *AS) mountServices() error {
 		}
 		_ = as.aaHost.SendRaw(wire.ProtoShutoff, 0, as.aaID.EphID,
 			wire.Endpoint{AID: hdr.SrcAID, EphID: hdr.SrcEphID}, []byte{status})
+	})
+	// The inter-domain plane rides ProtoAcct on the same agent host:
+	// host complaints, AA-to-AA shutoff requests/receipts, and digest
+	// floods all demux through the engine.
+	as.Acct.SetSend(func(dst wire.Endpoint, payload []byte) error {
+		return as.aaHost.SendRaw(wire.ProtoAcct, 0, as.aaID.EphID, dst, payload)
+	})
+	as.aaHost.RegisterRawHandler(wire.ProtoAcct, func(hdr *wire.Header, payload []byte) {
+		as.Acct.HandleMessage(wire.Endpoint{AID: hdr.SrcAID, EphID: hdr.SrcEphID}, payload)
 	})
 
 	// Router identity: border routers answer drops with ICMP errors
@@ -273,11 +300,13 @@ func (as *AS) GCRevocations() int {
 }
 
 // runGC is one scheduled lifecycle GC pass over this AS: expired
-// revocation-list entries plus revoked host_info entries older than the
-// retention window. It returns the two reap counts.
+// local and remote revocation-list entries plus revoked host_info
+// entries older than the retention window. It returns the revocation
+// reap count (both lists) and the host reap count.
 func (as *AS) runGC(retention int64) (revocations, hosts int) {
 	now := as.in.Sim.NowUnix()
-	return as.Router.Revoked().GC(now), as.DB.GC(now, retention)
+	reaped := as.Router.Revoked().GC(now) + as.Router.RemoteRevoked().GC(now)
+	return reaped, as.DB.GC(now, retention)
 }
 
 // Sealer exposes the AS's EphID sealer for benchmarks and tests that

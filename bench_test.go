@@ -223,6 +223,14 @@ func BenchmarkBorderIngress(b *testing.B) {
 		copy(dup[40:56], dst[:])
 		frames[i] = dup
 	}
+	// Populate the remote revocation list so the per-packet
+	// remote-source check performs real lookups against a non-empty
+	// sharded map — the steady state once revocation digests have been
+	// disseminated — and the alloc gate covers it.
+	for i := 0; i < 128; i++ {
+		e := f.Sealer.Mint(ephid.Payload{HID: 999, ExpTime: uint32(f.Now) + 3600})
+		f.Router.ApplyRemote(e, f.AID, uint32(f.Now)+3600)
+	}
 	pipe := f.Router.NewIngressPipeline()
 	b.SetBytes(256)
 	b.ReportAllocs()

@@ -3,15 +3,15 @@
 // statistics it is sized against, both Figure 8 forwarding series, the
 // connection-establishment latency analysis, the concurrent multi-flow
 // scenario (E6), the adversarial conformance sweep (E7), the multi-AS
-// parallel-engine saturation run (E8), and the lifecycle endurance
-// sweep (E9); each table prints the paper's numbers next to the
-// measured ones.
+// parallel-engine saturation run (E8), the lifecycle endurance sweep
+// (E9), and the inter-domain accountability sweep (E10); each table
+// prints the paper's numbers next to the measured ones.
 //
 // The -seed flag drives every seeded experiment (E2 trace, E6
-// scenario, E7/E9 sweep bases, E8 traffic mix), so CI and local runs
-// can sweep seeds; E7 and E9 additionally take -seeds for the sweep
-// width and exit nonzero if any paper invariant (E7) or lifecycle gate
-// (E9) is violated.
+// scenario, E7/E9/E10 sweep bases, E8 traffic mix), so CI and local
+// runs can sweep seeds; E7, E9 and E10 additionally take -seeds for
+// the sweep width and exit nonzero if any paper invariant (E7),
+// lifecycle gate (E9) or inter-domain gate (E10) is violated.
 //
 // Usage:
 //
@@ -23,6 +23,7 @@
 //	apna-bench -exp e7 -seed 1 -seeds 5 -adversaries 2 -json
 //	apna-bench -exp e8 -ases 4 -fwd-workers 8 -json > BENCH_e8.json
 //	apna-bench -exp e9 -seed 1 -seeds 3 -windows 4 -json > BENCH_e9.json
+//	apna-bench -exp e10 -seed 1 -seeds 3 -json > BENCH_e10.json
 package main
 
 import (
@@ -38,7 +39,7 @@ import (
 
 func main() {
 	var (
-		exp         = flag.String("exp", "all", "experiment: e1, e2, e3 (includes e4), e5, e6, e7, e8, e9, all")
+		exp         = flag.String("exp", "all", "experiment: e1, e2, e3 (includes e4), e5, e6, e7, e8, e9, e10, all")
 		requests    = flag.Int("requests", 500_000, "E1: number of EphID requests")
 		workers     = flag.Int("workers", 4, "E1: parallel issuance workers (paper: 4)")
 		fwdHosts    = flag.Int("hosts", 256, "E3/E8: simulated source hosts (per AS for E8)")
@@ -47,14 +48,16 @@ func main() {
 		small       = flag.Bool("small", false, "E2: use a small trace instead of paper scale")
 		oneWay      = flag.Duration("oneway", 25*time.Millisecond, "E5: one-way inter-AS latency")
 		seed        = flag.Int64("seed", 1, "base seed for every seeded experiment (E2, E6, E7, E8)")
-		seeds       = flag.Int("seeds", 5, "E7/E9: seeds in the sweep (seed, seed+1, ...)")
-		adversaries = flag.Int("adversaries", 2, "E7: number of attackers")
-		jsonOut     = flag.Bool("json", false, "E7/E8/E9: emit machine-readable JSON")
+		seeds       = flag.Int("seeds", 5, "E7/E9/E10: seeds in the sweep (seed, seed+1, ...)")
+		adversaries = flag.Int("adversaries", 2, "E7/E10: number of attackers")
+		jsonOut     = flag.Bool("json", false, "E7/E8/E9/E10: emit machine-readable JSON")
 		e8ASes      = flag.Int("ases", 4, "E8: autonomous systems in the ring")
 		e8Batch     = flag.Int("batch", 64, "E8: frames per pipeline batch")
 		e8Bad       = flag.Float64("bad", 0.05, "E8: fraction of adversarial frames")
 		e9Windows   = flag.Int("windows", 4, "E9: EphID validity windows to cross")
 		e9Life      = flag.Uint("ephid-life", 120, "E9: client EphID lifetime in seconds")
+		e10ASes     = flag.Int("acct-ases", 8, "E10: autonomous systems in the full mesh")
+		e10Digest   = flag.Duration("digest", 10*time.Second, "E10: revocation-digest dissemination interval")
 	)
 	flag.Parse()
 
@@ -187,6 +190,34 @@ func main() {
 		fmt.Println()
 		if !ok {
 			fmt.Fprintln(os.Stderr, "apna-bench: E9 lifecycle gate failures")
+			os.Exit(2)
+		}
+	}
+
+	if run("e10") {
+		cfg := experiments.DefaultE10()
+		cfg.ASes = *e10ASes
+		cfg.DigestInterval = *e10Digest
+		cfg.Attackers = *adversaries
+		cfg.Seeds = experiments.SeedSweep(*seed, *seeds)
+		fmt.Fprintf(os.Stderr, "inter-domain accountability: %d seeds, %d-AS mesh, %v digests...\n",
+			len(cfg.Seeds), cfg.ASes, cfg.DigestInterval)
+		res, err := experiments.RunE10(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		if *jsonOut {
+			// The summary goes to stderr so stdout stays a clean
+			// JSON-lines artifact (BENCH_e10.json).
+			res.Fprint(os.Stderr)
+		}
+		ok, err := res.Report(os.Stdout, *jsonOut)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+		if !ok {
+			fmt.Fprintln(os.Stderr, "apna-bench: E10 inter-domain gate failures")
 			os.Exit(2)
 		}
 	}

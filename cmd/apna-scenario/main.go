@@ -3,13 +3,15 @@
 // running overlapping EphID issuances, handshakes and data waves in
 // one shared virtual timeline, optionally with mid-flight shutoffs —
 // the adversarial conformance scenario (E7), which adds attackers,
-// chaos links and the paper-invariant referee, and the lifecycle
-// endurance scenario (E9), which runs long-lived flows across EphID
-// expiry horizons under the renewal engine. E7 and E9 emit a JSON
-// verdict per seed.
+// chaos links and the paper-invariant referee, the lifecycle endurance
+// scenario (E9), which runs long-lived flows across EphID expiry
+// horizons under the renewal engine, and the inter-domain
+// accountability scenario (E10), which carries shutoffs AA-to-AA
+// across an 8-AS mesh and floods revocation digests. E7, E9 and E10
+// emit a JSON verdict per seed.
 //
-// The -seed flag (and for E7/E9 -seeds, the sweep width) makes runs
-// reproducible and sweepable from CI.
+// The -seed flag (and for E7/E9/E10 -seeds, the sweep width) makes
+// runs reproducible and sweepable from CI.
 //
 // Usage:
 //
@@ -19,6 +21,7 @@
 //	apna-scenario -exp e7                  # adversarial conformance sweep
 //	apna-scenario -exp e7 -seed 10 -seeds 8 -adversaries 3 -json
 //	apna-scenario -exp e9 -windows 5 -json # lifecycle endurance sweep
+//	apna-scenario -exp e10 -digest 5s -json # inter-domain accountability
 package main
 
 import (
@@ -34,8 +37,9 @@ func main() {
 	def := experiments.DefaultScenario()
 	adv := experiments.DefaultAdversarial()
 	endur := experiments.DefaultE9()
+	acct := experiments.DefaultE10()
 	var (
-		exp         = flag.String("exp", "e6", "scenario: e6 (concurrent), e7 (adversarial conformance) or e9 (lifecycle endurance)")
+		exp         = flag.String("exp", "e6", "scenario: e6 (concurrent), e7 (adversarial conformance), e9 (lifecycle endurance) or e10 (inter-domain accountability)")
 		ases        = flag.Int("ases", def.ASes, "number of ASes (full mesh)")
 		hosts       = flag.Int("hosts", def.HostsPerAS, "hosts per AS")
 		flows       = flag.Int("flows", def.FlowsPerHost, "flows dialed per host")
@@ -48,6 +52,7 @@ func main() {
 		jsonOut     = flag.Bool("json", false, "E7/E9: emit one JSON verdict per seed")
 		windows     = flag.Int("windows", endur.Windows, "E9: EphID validity windows to cross")
 		ephidLife   = flag.Uint("ephid-life", uint(endur.EphIDLifetime), "E9: client EphID lifetime in seconds")
+		digest      = flag.Duration("digest", acct.DigestInterval, "E10: revocation-digest dissemination interval")
 	)
 	flag.Parse()
 
@@ -130,8 +135,36 @@ func main() {
 			fmt.Fprintln(os.Stderr, "apna-scenario: E9 lifecycle gate failures")
 			os.Exit(2)
 		}
+	case "e10":
+		cfg := acct
+		if set["ases"] {
+			cfg.ASes = *ases
+		}
+		if set["latency"] {
+			cfg.LinkLatency = *latency
+		}
+		cfg.DigestInterval = *digest
+		cfg.Attackers = *adversaries
+		cfg.Seeds = experiments.SeedSweep(*seed, *seeds)
+		res, err := experiments.RunE10(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		if *jsonOut {
+			// The summary goes to stderr so stdout stays a clean
+			// JSON-lines artifact (BENCH_e10.json).
+			res.Fprint(os.Stderr)
+		}
+		ok, err := res.Report(os.Stdout, *jsonOut)
+		if err != nil {
+			fatal(err)
+		}
+		if !ok {
+			fmt.Fprintln(os.Stderr, "apna-scenario: E10 inter-domain gate failures")
+			os.Exit(2)
+		}
 	default:
-		fatal(fmt.Errorf("unknown scenario %q (want e6, e7 or e9)", *exp))
+		fatal(fmt.Errorf("unknown scenario %q (want e6, e7, e9 or e10)", *exp))
 	}
 	fmt.Printf("  total wall time:     %v\n", time.Since(start).Round(time.Millisecond))
 }

@@ -34,6 +34,12 @@ type Host struct {
 	// is ordered in the simulator; acknowledgments from *different*
 	// agents may arrive in any order).
 	shutoffs map[Endpoint][]*Pending[bool]
+	// complaints are in-flight inter-domain complaints. Unlike
+	// shutoffs they cannot be matched FIFO — all of a host's complaints
+	// are answered by its one local agent, in whatever order remote
+	// ASes' receipts arrive — so each is keyed by the sequence number
+	// the agent echoes in its acknowledgment.
+	complaints map[complaintKey]*Pending[*ShutoffReceipt]
 	// pings are in-flight echo requests keyed by destination and
 	// sequence number, so replies resolve the probe that addressed
 	// them and not another destination's probe sharing the seq.
@@ -48,6 +54,13 @@ type Host struct {
 type pingKey struct {
 	dst Endpoint
 	seq uint16
+}
+
+// complaintKey identifies an in-flight inter-domain complaint by the
+// answering agent and the host's complaint sequence number.
+type complaintKey struct {
+	agent Endpoint
+	seq   uint64
 }
 
 // AddHost registers a subscriber with the AS, bootstraps it (Figure 2),
@@ -101,9 +114,10 @@ func (in *Internet) AddHost(aid AID, name string) (*Host, error) {
 	}
 
 	h := &Host{Name: name, Stack: stack, as: as, hid: boot.HID,
-		shutoffs: make(map[Endpoint][]*Pending[bool]),
-		pings:    make(map[pingKey][]*Pending[bool]),
-		resolves: make(map[EphID]bool)}
+		shutoffs:   make(map[Endpoint][]*Pending[bool]),
+		complaints: make(map[complaintKey]*Pending[*ShutoffReceipt]),
+		pings:      make(map[pingKey][]*Pending[bool]),
+		resolves:   make(map[EphID]bool)}
 	h.link = in.Sim.NewLink("host-"+name, in.opts.HostLinkLatency, 0)
 	as.Router.AttachHost(boot.HID, h.link.A())
 	stack.Attach(h.link.B())
@@ -120,6 +134,9 @@ func (in *Internet) AddHost(aid AID, name string) (*Host, error) {
 			p.complete(payload[0] == 1, nil)
 		}
 	})
+	// Resolve complaint futures from accountability-plane acks by
+	// echoed sequence number, verifying the signed receipt end to end.
+	stack.AddRawListener(wire.ProtoAcct, h.handleComplaintAck)
 	// Dispatch echo replies to the ping future(s) addressed to the
 	// replying endpoint, so overlapping pings — even ones sharing a
 	// sequence number toward different destinations — resolve

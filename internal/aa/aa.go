@@ -70,6 +70,15 @@ func BuildRequest(packet []byte, dstCert *cert.Cert, signer *crypto.Signer) *Req
 	return r
 }
 
+// VerifySignature checks the requester's signature over the evidence
+// packet against the certificate's signing key — the
+// verifySig(K+_EphIDd, {pkt}) step of Figure 5, exposed so a victim-side
+// accountability engine can pre-screen complaints before forwarding
+// them across AS borders.
+func (r *Request) VerifySignature() bool {
+	return crypto.Verify(r.Cert.SigPub[:], sigLabel, r.Packet, r.Signature[:])
+}
+
 // Encode serializes the request.
 func (r *Request) Encode() ([]byte, error) {
 	certRaw, err := r.Cert.MarshalBinary()
@@ -139,6 +148,10 @@ type Agent struct {
 
 	mu      sync.Mutex
 	routers []*border.Router
+	// onRevoke, when set, observes every EphID revocation this agent
+	// orders (shutoff or voluntary). The inter-domain accountability
+	// engine subscribes here to feed its revocation digests.
+	onRevoke func(e ephid.EphID, expTime uint32)
 }
 
 // New creates an agent.
@@ -154,63 +167,118 @@ func (a *Agent) AddRouter(r *border.Router) {
 	a.routers = append(a.routers, r)
 }
 
-// HandleShutoff validates a shutoff request and, if valid, revokes the
-// source EphID on all border routers. It implements the agent's side of
-// Figure 5.
-func (a *Agent) HandleShutoff(req *Request) (*Result, error) {
+// SetRevocationHook installs a callback fired after every successful
+// EphID revocation (shutoff-driven or voluntary), carrying the revoked
+// EphID and its expiration time.
+func (a *Agent) SetRevocationHook(fn func(e ephid.EphID, expTime uint32)) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.onRevoke = fn
+}
+
+// VerifyEvidence runs every requester-proof check of Figure 5 —
+// certificate chain, requester signature, authorization (the packet is
+// addressed to the requester), source locality, EphID decryption, and
+// the per-packet MAC — with none of the revocation side effects, and
+// deliberately without the expiry abort: evidence about an
+// already-expired EphID still verifies, so the inter-domain engine can
+// answer such requests with an authenticated no-op receipt instead of
+// rejecting them. The MAC key is fetched regardless of the host's
+// status — a revoked host's past traffic remains attributable
+// evidence. On success it returns the decrypted source EphID payload.
+func (a *Agent) VerifyEvidence(req *Request) (ephid.Payload, error) {
 	now := a.now()
 
 	// verifyCert(C_EphIDd): chase the issuer's key through the trust
 	// store and check the signature and expiry.
 	issuerKey, err := a.trust.SigKey(req.Cert.AID, now)
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadCert, err)
+		return ephid.Payload{}, fmt.Errorf("%w: %v", ErrBadCert, err)
 	}
 	if err := req.Cert.Verify(issuerKey, now); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadCert, err)
+		return ephid.Payload{}, fmt.Errorf("%w: %v", ErrBadCert, err)
 	}
 
 	// verifySig(K+_EphIDd, {pkt}): the requester owns EphID_d.
-	if !crypto.Verify(req.Cert.SigPub[:], sigLabel, req.Packet, req.Signature[:]) {
-		return nil, ErrBadSignature
+	if !req.VerifySignature() {
+		return ephid.Payload{}, ErrBadSignature
 	}
 
 	// The evidence must be a well-formed APNA packet addressed to the
 	// requester — only the recipient may request a shutoff.
 	if !wire.ValidFrame(req.Packet) {
-		return nil, fmt.Errorf("%w: evidence is not an APNA frame", ErrBadRequest)
+		return ephid.Payload{}, fmt.Errorf("%w: evidence is not an APNA frame", ErrBadRequest)
 	}
 	if wire.FrameDstEphID(req.Packet) != req.Cert.EphID || wire.FrameDstAID(req.Packet) != req.Cert.AID {
-		return nil, ErrNotAuthorized
+		return ephid.Payload{}, ErrNotAuthorized
 	}
 
 	// The offending source must be one of our hosts.
 	if wire.FrameSrcAID(req.Packet) != a.cfg.AID {
-		return nil, ErrNotOurs
+		return ephid.Payload{}, ErrNotOurs
 	}
-	srcEphID := wire.FrameSrcEphID(req.Packet)
-	p, err := a.sealer.Open(srcEphID)
+	p, err := a.sealer.Open(wire.FrameSrcEphID(req.Packet))
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadSrcEphID, err)
-	}
-	if p.Expired(now) {
-		return nil, fmt.Errorf("%w: expired", ErrBadSrcEphID)
+		return ephid.Payload{}, fmt.Errorf("%w: %v", ErrBadSrcEphID, err)
 	}
 
-	// kHSAS = host_info[HID_S]; verifyMAC(kHSAS, pkt): the host
-	// really sent this packet (a rogue packet cannot trigger a
-	// shutoff, Section VI-C).
-	macKey, err := a.db.MACKey(p.HID)
+	// kHSAS = host_info[HID_S]; verifyMAC(kHSAS, pkt): the host really
+	// sent this packet (a rogue packet cannot trigger a shutoff,
+	// Section VI-C).
+	entry, err := a.db.Get(p.HID)
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrUnknownHost, err)
+		return ephid.Payload{}, fmt.Errorf("%w: %v", ErrUnknownHost, err)
 	}
-	pm, err := wire.NewPacketMAC(macKey[:])
+	pm, err := wire.NewPacketMAC(entry.Keys.MAC[:])
+	if err != nil {
+		return ephid.Payload{}, err
+	}
+	if !pm.Verify(req.Packet) {
+		return ephid.Payload{}, ErrBadPacketMAC
+	}
+	return p, nil
+}
+
+// notifyRevoked fires the revocation hook, if any.
+func (a *Agent) notifyRevoked(e ephid.EphID, expTime uint32) {
+	a.mu.Lock()
+	fn := a.onRevoke
+	a.mu.Unlock()
+	if fn != nil {
+		fn(e, expTime)
+	}
+}
+
+// HandleShutoff validates a shutoff request and, if valid, revokes the
+// source EphID on all border routers. It implements the agent's side of
+// Figure 5: the requester-proof checks of VerifyEvidence, then the
+// expiry and host-standing gates, then the revocation itself.
+func (a *Agent) HandleShutoff(req *Request) (*Result, error) {
+	p, err := a.VerifyEvidence(req)
 	if err != nil {
 		return nil, err
 	}
-	if !pm.Verify(req.Packet) {
-		return nil, ErrBadPacketMAC
+	return a.ShutoffVerified(req, p)
+}
+
+// ShutoffVerified executes the revocation for evidence a prior
+// VerifyEvidence call already validated, re-checking only the clock-
+// and state-dependent gates (expiry, host standing). Callers that
+// verify first to classify — the inter-domain engine — use it to avoid
+// paying the Figure 5 cryptography twice.
+func (a *Agent) ShutoffVerified(req *Request, p ephid.Payload) (*Result, error) {
+	now := a.now()
+	if p.Expired(now) {
+		return nil, fmt.Errorf("%w: expired", ErrBadSrcEphID)
 	}
+	// The host must still be in good standing. The cause is chained
+	// (%w) so callers building signed receipts can tell "host already
+	// revoked" (hostdb.ErrRevoked — a no-op shutoff) apart from a
+	// genuinely unknown HID.
+	if _, err := a.db.MACKey(p.HID); err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrUnknownHost, err)
+	}
+	srcEphID := wire.FrameSrcEphID(req.Packet)
 
 	// Order every border router to revoke the EphID.
 	order, err := border.SignOrder(a.secret, srcEphID, p.ExpTime)
@@ -225,6 +293,7 @@ func (a *Agent) HandleShutoff(req *Request) (*Result, error) {
 			return nil, err
 		}
 	}
+	a.notifyRevoked(srcEphID, p.ExpTime)
 
 	res := &Result{SrcEphID: srcEphID, HID: p.HID}
 	res.Strikes, err = a.db.AddStrike(p.HID)
@@ -264,5 +333,6 @@ func (a *Agent) RevokeVoluntary(hid ephid.HID, e ephid.EphID) error {
 			return err
 		}
 	}
+	a.notifyRevoked(e, p.ExpTime)
 	return nil
 }

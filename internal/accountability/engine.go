@@ -1,0 +1,756 @@
+// Package accountability implements the inter-domain accountability
+// plane: the AA-to-AA protocols that carry the paper's shutoff
+// guarantee across AS borders (Section IV-E applied between domains).
+//
+// The intra-AS accountability agent (internal/aa) can only revoke
+// EphIDs its own AS minted. But the victim of unwanted traffic usually
+// sits in a *different* AS, so the paper's guarantee — any recipient
+// can have any sender's traffic stopped — needs a control plane between
+// agents:
+//
+//  1. The victim host files a Complaint with its own AS's agent: the
+//     offending packet, the victim's signature over it, the victim's
+//     certificate, and the offender's certificate (which names the
+//     offending AS and its agent's EphID).
+//  2. The victim-side engine verifies everything verifiable locally —
+//     the victim's certificate chains to this AS, the signature is
+//     valid, the packet was addressed to the victim, the offender's
+//     certificate chains to its claimed AS via RPKI — then wraps the
+//     complaint in a ShutoffRequest signed with the AS's key and
+//     forwards it to the offending AS's agent.
+//  3. The source-side engine verifies the requesting AS's signature
+//     (RPKI), then runs the full intra-AS shutoff validation of
+//     Figure 5 — including the per-packet MAC check only the source AS
+//     can perform, which keeps the protocol from becoming a
+//     denial-of-service tool — revokes the EphID on its border
+//     routers, and answers with a signed Receipt. Requests are
+//     idempotent: a replayed request is answered from a receipt cache,
+//     and a second complaint about an already-revoked EphID is a
+//     no-op receipt with no additional strike.
+//  4. Each engine periodically floods a signed, *cumulative* Digest of
+//     its live revocations to every peer agent. Receivers install the
+//     entries into their border routers' remote revocation lists
+//     (sharded, copy-on-write, lock-free — the same structure as the
+//     local list), so border ingress drops frames bearing
+//     remotely-revoked source EphIDs without any per-packet cross-AS
+//     query. Cumulative digests make dissemination loss- and
+//     reorder-tolerant under chaotic links: any single digest carries
+//     the whole live set.
+//
+// The privacy half of the paper's trade-off is preserved end to end:
+// complaints, requests, receipts and digests name only EphIDs — the
+// offending host's HID never crosses the AS border (Pope & Goodell's
+// accountability-vs-privacy tension resolved the paper's way: the
+// source AS alone can map the identifier to its customer).
+//
+// The engine is transport-agnostic: the facade wires SetSend to the
+// agent service host's stack and calls HandleMessage for every
+// ProtoAcct frame the agent receives.
+package accountability
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"apna/internal/aa"
+	"apna/internal/border"
+	"apna/internal/ephid"
+	"apna/internal/hostdb"
+	"apna/internal/wire"
+)
+
+// Engine errors (beyond the codec errors in msg.go).
+var (
+	// ErrNotVictimAS: the complaint's victim certificate was not issued
+	// by this AS — complaints go to the victim's own agent first.
+	ErrNotVictimAS = errors.New("accountability: complainant is not a customer of this AS")
+	// ErrComplaintProof: the complaint's local proof failed (signature,
+	// addressing, or certificate validation).
+	ErrComplaintProof = errors.New("accountability: complaint proof invalid")
+	// ErrNoTransport: the engine has no send hook installed.
+	ErrNoTransport = errors.New("accountability: no transport wired (SetSend)")
+	// ErrNotSourceAS: a shutoff request named a source EphID this AS
+	// did not mint.
+	ErrNotSourceAS = errors.New("accountability: packet source is not in this AS")
+)
+
+// Config parameterizes an engine. All fields are required.
+type Config struct {
+	// AID is this AS.
+	AID ephid.AID
+	// Signer holds the AS's Ed25519 key (the one certified in RPKI),
+	// signing outgoing requests, receipts and digests.
+	Signer Signer
+	// Trust resolves peer AS keys.
+	Trust TrustStore
+	// Agent is the local intra-AS accountability agent that executes
+	// revocations.
+	Agent *aa.Agent
+	// Now supplies Unix seconds.
+	Now func() int64
+}
+
+// Signer is the signing half of crypto.Signer.
+type Signer interface {
+	Sign(label string, data []byte) []byte
+}
+
+// TrustStore is the key-resolution surface of rpki.TrustStore.
+type TrustStore interface {
+	SigKey(aid ephid.AID, nowUnix int64) ([]byte, error)
+}
+
+// Stats counts engine activity, in the spirit of border.Stats.
+type Stats struct {
+	// Victim side.
+	ComplaintsReceived, ComplaintsRejected, ComplaintsLocal uint64
+	RequestsForwarded                                       uint64
+	ReceiptsReceived, ReceiptsInvalid, ReceiptsUnmatched    uint64
+	// Source side.
+	RequestsReceived, RequestsDuplicate, RequestsInvalid uint64
+	Revocations, NoOpReceipts, Rejections                uint64
+	// Dissemination.
+	DigestsSent, DigestsReceived, DigestsInvalid, DigestsStale uint64
+	EntriesInstalled, EntriesSkippedExpired                    uint64
+}
+
+// Event is one engine action, surfaced to observers (scenario referees
+// time dissemination with it; harnesses log it).
+type Event struct {
+	// Kind is "complaint", "complaint-rejected", "forward", "shutoff",
+	// "receipt", "digest-flush" or "digest-install".
+	Kind string
+	// AID is the engine's AS.
+	AID ephid.AID
+	// Peer is the other AS of the exchange (zero for digest-flush).
+	Peer ephid.AID
+	// EphID is the offending identifier, where one is known.
+	EphID ephid.EphID
+	// Status carries the receipt status of "shutoff" and "receipt"
+	// events.
+	Status Status
+	// Entries counts digest entries for "digest-flush" and
+	// "digest-install" events.
+	Entries int
+}
+
+// pendingReq is one in-flight cross-AS shutoff request on the victim
+// side.
+type pendingReq struct {
+	peer ephid.AID
+	at   int64 // Unix seconds the request was forwarded, for pruning
+	done func(*Receipt, error)
+}
+
+// Retention horizons for the two bookkeeping maps, in Unix seconds of
+// virtual time. A pending request past the horizon will never be
+// answered usefully (the caller retried or gave up long ago); a cached
+// receipt past it can be dropped because re-executing the request is
+// itself idempotent — the EphID is already revoked or expired by then,
+// so a very late replay earns a fresh no-op receipt.
+const (
+	pendingHorizon = 300
+	receiptHorizon = 3600
+)
+
+// Engine is one AS's inter-domain accountability plane. It shares the
+// simulator's single-goroutine discipline with the rest of the control
+// plane; the mutex only guards direct concurrent use from tests.
+type Engine struct {
+	cfg Config
+
+	mu      sync.Mutex
+	routers []*border.Router
+	send    func(dst wire.Endpoint, payload []byte) error
+	peers   map[ephid.AID]ephid.EphID
+	// announced is the cumulative set of this AS's live revocations —
+	// the digest contents. NoteRevoked feeds it (wired to the local
+	// agent's revocation hook); FlushDigest prunes expired entries.
+	announced map[ephid.EphID]uint32
+	// pending maps request hashes to in-flight cross-AS requests.
+	pending map[[32]byte]pendingReq
+	// receipts is the source-side idempotency cache: request hash to
+	// the signed receipt already issued. A replayed request is answered
+	// from here without touching the agent (no double strike).
+	receipts map[[32]byte]*Receipt
+	// peerSeq is the highest digest seq accepted per origin.
+	peerSeq  map[ephid.AID]uint64
+	reqSeq   uint64
+	flushSeq uint64
+	stats    Stats
+	observer func(Event)
+}
+
+// New creates an engine.
+func New(cfg Config) *Engine {
+	return &Engine{
+		cfg:       cfg,
+		peers:     make(map[ephid.AID]ephid.EphID),
+		announced: make(map[ephid.EphID]uint32),
+		pending:   make(map[[32]byte]pendingReq),
+		receipts:  make(map[[32]byte]*Receipt),
+		peerSeq:   make(map[ephid.AID]uint64),
+	}
+}
+
+// AddRouter registers a border router as an install target for remote
+// revocations (and as the already-revoked oracle for no-op receipts).
+func (e *Engine) AddRouter(r *border.Router) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.routers = append(e.routers, r)
+}
+
+// SetSend installs the transport: fn must deliver payload to the
+// accountability agent at dst as a ProtoAcct frame.
+func (e *Engine) SetSend(fn func(dst wire.Endpoint, payload []byte) error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.send = fn
+}
+
+// RegisterPeer records a peer AS's agent endpoint for digest flooding.
+func (e *Engine) RegisterPeer(aid ephid.AID, agentEphID ephid.EphID) {
+	if aid == e.cfg.AID {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.peers[aid] = agentEphID
+}
+
+// SetObserver installs a callback fired on every engine action.
+func (e *Engine) SetObserver(fn func(Event)) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.observer = fn
+}
+
+// Stats returns a copy of the engine's counters.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+func (e *Engine) emit(ev Event) {
+	e.mu.Lock()
+	fn := e.observer
+	e.mu.Unlock()
+	if fn != nil {
+		ev.AID = e.cfg.AID
+		fn(ev)
+	}
+}
+
+// NoteRevoked records a local revocation for dissemination. It is the
+// single feed into the digest set, wired to the local agent's
+// revocation hook so shutoff-driven, cross-AS-driven and voluntary
+// revocations all disseminate.
+func (e *Engine) NoteRevoked(id ephid.EphID, expTime uint32) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.announced[id] = expTime
+}
+
+// sendTo snapshots the transport and sends, outside the lock.
+func (e *Engine) sendTo(dst wire.Endpoint, payload []byte) error {
+	e.mu.Lock()
+	fn := e.send
+	e.mu.Unlock()
+	if fn == nil {
+		return ErrNoTransport
+	}
+	return fn(dst, payload)
+}
+
+// HandleComplaint runs the victim-side validation of a complaint and
+// either executes it locally (offender in this AS) or forwards it to
+// the offending AS's agent. done fires exactly once with the signed
+// receipt — synchronously for local offenders, on receipt arrival for
+// remote ones. A returned error means the complaint was rejected before
+// any request left this AS (done never fires).
+func (e *Engine) HandleComplaint(c *Complaint, done func(*Receipt, error)) error {
+	now := e.cfg.Now()
+	e.mu.Lock()
+	e.stats.ComplaintsReceived++
+	e.mu.Unlock()
+
+	reject := func(format string, args ...any) error {
+		e.mu.Lock()
+		e.stats.ComplaintsRejected++
+		e.mu.Unlock()
+		e.emit(Event{Kind: "complaint-rejected"})
+		return fmt.Errorf("%w: %s", ErrComplaintProof, fmt.Sprintf(format, args...))
+	}
+
+	// The complainant must be our customer, with a certificate we
+	// issued.
+	if c.Req.Cert.AID != e.cfg.AID {
+		e.mu.Lock()
+		e.stats.ComplaintsRejected++
+		e.mu.Unlock()
+		e.emit(Event{Kind: "complaint-rejected"})
+		return fmt.Errorf("%w: cert from %v", ErrNotVictimAS, c.Req.Cert.AID)
+	}
+	key, err := e.cfg.Trust.SigKey(c.Req.Cert.AID, now)
+	if err != nil {
+		return reject("resolving own AS key: %v", err)
+	}
+	if err := c.Req.Cert.Verify(key, now); err != nil {
+		return reject("victim certificate: %v", err)
+	}
+	// The victim owns the certificate's signing key.
+	if !c.Req.VerifySignature() {
+		return reject("victim signature invalid")
+	}
+	// The evidence is a well-formed frame addressed to the victim —
+	// only recipients may complain (Section VI-C).
+	if !wire.ValidFrame(c.Req.Packet) {
+		return reject("evidence is not an APNA frame")
+	}
+	if wire.FrameDstEphID(c.Req.Packet) != c.Req.Cert.EphID ||
+		wire.FrameDstAID(c.Req.Packet) != c.Req.Cert.AID {
+		return reject("evidence not addressed to complainant")
+	}
+	// The offender certificate must match the evidence's source and
+	// chain to its claimed AS — a forged certificate cannot redirect the
+	// shutoff request to a bogus agent.
+	if c.OffenderCert.EphID != wire.FrameSrcEphID(c.Req.Packet) ||
+		c.OffenderCert.AID != wire.FrameSrcAID(c.Req.Packet) {
+		return reject("offender certificate does not match evidence source")
+	}
+
+	if c.OffenderCert.AID == e.cfg.AID {
+		// Intra-AS complaint: execute directly, no border crossing.
+		e.mu.Lock()
+		e.stats.ComplaintsLocal++
+		e.mu.Unlock()
+		r := e.execute(&c.Req, [32]byte{})
+		e.emit(Event{Kind: "shutoff", Peer: e.cfg.AID, EphID: r.SrcEphID, Status: r.Status})
+		done(r, nil)
+		return nil
+	}
+
+	// Signature only: an expired offender certificate is still a valid
+	// route to its issuing AS, which answers with a no-op receipt — the
+	// offender's expiry is the source AS's judgment, not ours.
+	okey, err := e.cfg.Trust.SigKey(c.OffenderCert.AID, now)
+	if err != nil {
+		return reject("resolving offender AS %v: %v", c.OffenderCert.AID, err)
+	}
+	if err := c.OffenderCert.VerifySignature(okey); err != nil {
+		return reject("offender certificate: %v", err)
+	}
+
+	enc, err := c.Encode()
+	if err != nil {
+		return reject("encoding complaint: %v", err)
+	}
+	e.mu.Lock()
+	// Housekeeping rides every complaint too, so the no-dissemination
+	// mode (no digest timer calling FlushDigest) cannot leak pending
+	// entries or receipt-cache growth without bound.
+	e.prune(now)
+	e.reqSeq++
+	req := &ShutoffRequest{Origin: e.cfg.AID, Seq: e.reqSeq, IssuedAt: now, Complaint: enc}
+	e.mu.Unlock()
+	req.Sign(e.cfg.Signer)
+	raw := req.Encode()
+	hash := RequestHash(raw)
+
+	e.mu.Lock()
+	e.pending[hash] = pendingReq{peer: c.OffenderCert.AID, at: now, done: done}
+	e.mu.Unlock()
+
+	dst := wire.Endpoint{AID: c.OffenderCert.AID, EphID: c.OffenderCert.AAEphID}
+	if err := e.sendTo(dst, append([]byte{MsgShutoffRequest}, raw...)); err != nil {
+		e.mu.Lock()
+		delete(e.pending, hash)
+		e.mu.Unlock()
+		return err
+	}
+	e.mu.Lock()
+	e.stats.RequestsForwarded++
+	e.mu.Unlock()
+	e.emit(Event{Kind: "forward", Peer: c.OffenderCert.AID, EphID: c.OffenderCert.EphID})
+	return nil
+}
+
+// prune drops pending requests and cached receipts past their
+// horizons. Called with e.mu held. Receipts lost to the network leave
+// their pending entries behind; the complaining host's future is
+// abandoned independently at timeline quiescence (and acks correlate
+// by sequence number, so a very late receipt firing a pruned-then-
+// replaced callback cannot mis-resolve anything).
+func (e *Engine) prune(now int64) {
+	for h, p := range e.pending {
+		if p.at+pendingHorizon < now {
+			delete(e.pending, h)
+		}
+	}
+	for h, r := range e.receipts {
+		if r.IssuedAt+receiptHorizon < now {
+			delete(e.receipts, h)
+		}
+	}
+}
+
+// alreadyRevoked reports whether any of this AS's border routers has
+// the EphID on its local revocation list.
+func (e *Engine) alreadyRevoked(id ephid.EphID) bool {
+	e.mu.Lock()
+	routers := e.routers
+	e.mu.Unlock()
+	for _, r := range routers {
+		if r.Revoked().Contains(id) {
+			return true
+		}
+	}
+	return false
+}
+
+// execute runs one validated-enough shutoff request against the local
+// agent and builds the signed receipt. Idempotency on substance: an
+// EphID already revoked (or already expired) yields a no-op receipt
+// and never reaches the agent, so repeated complaints about one
+// offender do not stack strikes.
+func (e *Engine) execute(req *aa.Request, reqHash [32]byte) *Receipt {
+	now := e.cfg.Now()
+	r := &Receipt{Issuer: e.cfg.AID, ReqHash: reqHash, IssuedAt: now}
+	count := func(st Status) {
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		switch st {
+		case StatusRevoked:
+			e.stats.Revocations++
+		case StatusAlreadyRevoked, StatusExpiredNoOp:
+			e.stats.NoOpReceipts++
+		default:
+			e.stats.Rejections++
+		}
+	}
+	defer func() { count(r.Status); r.Sign(e.cfg.Signer) }()
+
+	if !wire.ValidFrame(req.Packet) {
+		r.Status = StatusRejected
+		return r
+	}
+	// The named EphID is requester-provided, so echoing it back leaks
+	// nothing; everything derived from decrypting it does. The full
+	// Figure 5 proof — including the per-packet MAC only this AS can
+	// check — runs BEFORE any classification, so no signed receipt
+	// discloses an EphID's expiry or revocation status to a peer that
+	// cannot prove the host actually sent the packet (receipts must not
+	// become a metadata oracle for RPKI peers).
+	r.SrcEphID = wire.FrameSrcEphID(req.Packet)
+	pl, err := e.cfg.Agent.VerifyEvidence(req)
+	if err != nil {
+		r.Status = StatusRejected
+		return r
+	}
+	r.ExpTime = pl.ExpTime
+	switch {
+	case pl.Expired(now):
+		r.Status = StatusExpiredNoOp
+	case e.alreadyRevoked(r.SrcEphID):
+		r.Status = StatusAlreadyRevoked
+	default:
+		if _, err := e.cfg.Agent.ShutoffVerified(req, pl); err != nil {
+			if errors.Is(err, hostdb.ErrRevoked) {
+				// The whole host was already revoked: its EphIDs are
+				// implicitly dead — a no-op, not a failure.
+				r.Status = StatusAlreadyRevoked
+			} else {
+				r.Status = StatusRejected
+			}
+		} else {
+			r.Status = StatusRevoked
+		}
+	}
+	return r
+}
+
+// HandleShutoffRequest is the source-side entry point: verify the
+// requesting AS's signature, answer replays from the receipt cache,
+// otherwise validate and execute the complaint. The returned receipt is
+// always signed; an error means the request was not even authentic and
+// is dropped without an answer (the Figure 5 abort).
+func (e *Engine) HandleShutoffRequest(raw []byte) (*Receipt, error) {
+	now := e.cfg.Now()
+	e.mu.Lock()
+	e.stats.RequestsReceived++
+	e.mu.Unlock()
+
+	hash := RequestHash(raw)
+	e.mu.Lock()
+	cached, dup := e.receipts[hash]
+	e.mu.Unlock()
+	if dup {
+		e.mu.Lock()
+		e.stats.RequestsDuplicate++
+		e.mu.Unlock()
+		return cached, nil
+	}
+
+	invalid := func(err error) (*Receipt, error) {
+		e.mu.Lock()
+		e.stats.RequestsInvalid++
+		e.mu.Unlock()
+		return nil, err
+	}
+	sr, err := DecodeShutoffRequest(raw)
+	if err != nil {
+		return invalid(err)
+	}
+	if err := sr.Verify(e.cfg.Trust, now); err != nil {
+		return invalid(err)
+	}
+	c, err := DecodeComplaint(sr.Complaint)
+	if err != nil {
+		return invalid(err)
+	}
+	// The forwarding AS must be the victim's own AS: agents only relay
+	// their customers' complaints.
+	if c.Req.Cert.AID != sr.Origin {
+		return invalid(fmt.Errorf("%w: origin %v relayed a cert from %v",
+			ErrBadRequest, sr.Origin, c.Req.Cert.AID))
+	}
+	// The named source must be ours; everything further (victim cert,
+	// signature, MAC) is the agent's Figure 5 validation inside execute.
+	if wire.ValidFrame(c.Req.Packet) && wire.FrameSrcAID(c.Req.Packet) != e.cfg.AID {
+		return invalid(fmt.Errorf("%w: source AS %v", ErrNotSourceAS, wire.FrameSrcAID(c.Req.Packet)))
+	}
+
+	r := e.execute(&c.Req, hash)
+	e.mu.Lock()
+	e.prune(now) // bounds the cache even without a digest timer
+	e.receipts[hash] = r
+	e.mu.Unlock()
+	e.emit(Event{Kind: "shutoff", Peer: sr.Origin, EphID: r.SrcEphID, Status: r.Status})
+	return r, nil
+}
+
+// HandleReceipt is the victim-side receipt path: verify the issuer's
+// signature, resolve the matching pending request, and install the
+// revocation into this AS's remote lists immediately (the victim AS
+// should not have to wait for the next digest to protect its own
+// borders).
+func (e *Engine) HandleReceipt(raw []byte) error {
+	now := e.cfg.Now()
+	r, err := DecodeReceipt(raw)
+	if err != nil {
+		e.mu.Lock()
+		e.stats.ReceiptsInvalid++
+		e.mu.Unlock()
+		return err
+	}
+	if err := r.Verify(e.cfg.Trust, now); err != nil {
+		e.mu.Lock()
+		e.stats.ReceiptsInvalid++
+		e.mu.Unlock()
+		return err
+	}
+	e.mu.Lock()
+	e.stats.ReceiptsReceived++
+	p, ok := e.pending[r.ReqHash]
+	// Only honor receipts from the AS the request was actually sent to:
+	// a third AS cannot answer (and so revoke, or deny) on another's
+	// behalf. The pending entry stays — a wrong-issuer receipt (its
+	// hash is observable on-path) must not displace the genuine one
+	// still in flight.
+	if ok && p.peer != r.Issuer {
+		e.stats.ReceiptsInvalid++
+		e.mu.Unlock()
+		return fmt.Errorf("%w: receipt from %v for a request to %v",
+			ErrBadReceipt, r.Issuer, p.peer)
+	}
+	if ok {
+		delete(e.pending, r.ReqHash)
+	} else {
+		e.stats.ReceiptsUnmatched++
+	}
+	routers := e.routers
+	e.mu.Unlock()
+
+	if ok && r.Status.Stopped() && r.Status != StatusExpiredNoOp {
+		for _, rt := range routers {
+			rt.ApplyRemote(r.SrcEphID, r.Issuer, r.ExpTime)
+		}
+	}
+	e.emit(Event{Kind: "receipt", Peer: r.Issuer, EphID: r.SrcEphID, Status: r.Status})
+	if ok {
+		p.done(r, nil)
+	}
+	return nil
+}
+
+// FlushDigest builds the cumulative digest of this AS's live
+// revocations, signs it, and floods it to every registered peer agent.
+// It returns the number of entries flooded (0 when there was nothing
+// live to announce, in which case nothing is sent). The facade drives
+// it from a recurring virtual-time timer (netsim.Simulator.Every).
+func (e *Engine) FlushDigest() int {
+	now := e.cfg.Now()
+	e.mu.Lock()
+	// Ride the dissemination cadence for housekeeping: stale pending
+	// requests and over-retained receipt-cache entries go first, then
+	// expired revocations — the expiry check drops their frames
+	// everywhere, so announcing them buys nothing (the digest-side
+	// mirror of RevocationList.GC).
+	e.prune(now)
+	for id, exp := range e.announced {
+		if int64(exp) < now {
+			delete(e.announced, id)
+		}
+	}
+	if len(e.announced) == 0 {
+		e.mu.Unlock()
+		return 0
+	}
+	e.flushSeq++
+	d := &Digest{Origin: e.cfg.AID, Seq: e.flushSeq, IssuedAt: now,
+		Entries: make([]DigestEntry, 0, len(e.announced))}
+	for id, exp := range e.announced {
+		d.Entries = append(d.Entries, DigestEntry{EphID: id, ExpTime: exp})
+	}
+	type peerDst struct {
+		aid ephid.AID
+		ep  ephid.EphID
+	}
+	peers := make([]peerDst, 0, len(e.peers))
+	for aid, ep := range e.peers {
+		peers = append(peers, peerDst{aid, ep})
+	}
+	e.stats.DigestsSent++
+	e.mu.Unlock()
+
+	// Deterministic wire form and send order (maps iterate randomly).
+	sort.Slice(d.Entries, func(i, j int) bool {
+		return bytes.Compare(d.Entries[i].EphID[:], d.Entries[j].EphID[:]) < 0
+	})
+	sort.Slice(peers, func(i, j int) bool { return peers[i].aid < peers[j].aid })
+	d.Sign(e.cfg.Signer)
+	payload := append([]byte{MsgDigest}, d.Encode()...)
+	for _, p := range peers {
+		_ = e.sendTo(wire.Endpoint{AID: p.aid, EphID: p.ep}, payload)
+	}
+	e.emit(Event{Kind: "digest-flush", Entries: len(d.Entries)})
+	return len(d.Entries)
+}
+
+// HandleDigest verifies and installs a peer's revocation digest.
+// Replayed or out-of-date digests (seq at or below the newest accepted
+// from that origin) are dropped: digests are cumulative, so the newest
+// one subsumes anything older. Entries already expired are skipped —
+// the case of a digest arriving after the local GC retention has
+// passed: expiry already stops those frames, and installing them would
+// only grow the list until the next GC.
+func (e *Engine) HandleDigest(raw []byte) error {
+	now := e.cfg.Now()
+	d, err := DecodeDigest(raw)
+	if err == nil {
+		err = d.Verify(e.cfg.Trust, now)
+	}
+	if err != nil {
+		e.mu.Lock()
+		e.stats.DigestsInvalid++
+		e.mu.Unlock()
+		return err
+	}
+	e.mu.Lock()
+	if d.Origin == e.cfg.AID || d.Seq <= e.peerSeq[d.Origin] {
+		e.stats.DigestsStale++
+		e.mu.Unlock()
+		return nil
+	}
+	e.peerSeq[d.Origin] = d.Seq
+	e.stats.DigestsReceived++
+	routers := e.routers
+	e.mu.Unlock()
+
+	installed := 0
+	for _, en := range d.Entries {
+		if int64(en.ExpTime) < now {
+			e.mu.Lock()
+			e.stats.EntriesSkippedExpired++
+			e.mu.Unlock()
+			continue
+		}
+		for _, rt := range routers {
+			rt.ApplyRemote(en.EphID, d.Origin, en.ExpTime)
+		}
+		installed++
+	}
+	e.mu.Lock()
+	e.stats.EntriesInstalled += uint64(installed)
+	e.mu.Unlock()
+	e.emit(Event{Kind: "digest-install", Peer: d.Origin, Entries: installed})
+	return nil
+}
+
+// HandleMessage is the ProtoAcct demux the facade mounts on the agent's
+// host stack: src is the frame's source endpoint (used to answer), and
+// payload is the full ProtoAcct payload including the kind byte.
+// Unanswerable or inauthentic messages are dropped silently, matching
+// the Figure 5 aborts.
+func (e *Engine) HandleMessage(src wire.Endpoint, payload []byte) {
+	if len(payload) < 1 {
+		return
+	}
+	kind, body := payload[0], payload[1:]
+	switch kind {
+	case MsgComplaint:
+		// The first 8 bytes are the host's complaint sequence number,
+		// echoed in the acknowledgment so the host can correlate acks
+		// with complaints (receipts from different offender ASes arrive
+		// in arbitrary order).
+		if len(body) < 8 {
+			return
+		}
+		// Copied: the ack closure outlives this frame's buffer when the
+		// receipt arrives asynchronously.
+		seq := append([]byte(nil), body[:8]...)
+		c, err := DecodeComplaint(body[8:])
+		if err != nil {
+			return
+		}
+		e.emit(Event{Kind: "complaint", Peer: src.AID})
+		ack := func(r *Receipt) {
+			out := make([]byte, 0, 10+ReceiptSize)
+			out = append(out, MsgComplaintAck)
+			out = append(out, seq...)
+			if r == nil {
+				out = append(out, 0)
+			} else {
+				out = append(out, 1)
+				out = append(out, r.Encode()...)
+			}
+			_ = e.sendTo(src, out)
+		}
+		err = e.HandleComplaint(c, func(r *Receipt, err error) {
+			if err != nil {
+				ack(nil)
+				return
+			}
+			ack(r)
+		})
+		if err != nil {
+			// Rejected before any request left: close the complaint now.
+			ack(nil)
+		}
+	case MsgShutoffRequest:
+		r, err := e.HandleShutoffRequest(body)
+		if err != nil || r == nil {
+			return
+		}
+		_ = e.sendTo(src, append([]byte{MsgReceipt}, r.Encode()...))
+	case MsgReceipt:
+		_ = e.HandleReceipt(body)
+	case MsgDigest:
+		_ = e.HandleDigest(body)
+	}
+}

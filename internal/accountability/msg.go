@@ -1,0 +1,383 @@
+package accountability
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"apna/internal/aa"
+	"apna/internal/cert"
+	"apna/internal/crypto"
+	"apna/internal/ephid"
+)
+
+// Message kinds, carried as the first byte of every ProtoAcct payload.
+const (
+	// MsgComplaint is a host-to-AA complaint about unwanted traffic.
+	MsgComplaint byte = 1
+	// MsgShutoffRequest is an AA-to-AA signed shutoff request.
+	MsgShutoffRequest byte = 2
+	// MsgReceipt is the source AA's signed answer to a shutoff request.
+	MsgReceipt byte = 3
+	// MsgDigest is a signed revocation digest flooded between AAs.
+	MsgDigest byte = 4
+	// MsgComplaintAck is the AA-to-host answer closing a complaint:
+	// one status byte (1 = a receipt follows) plus the encoded receipt.
+	MsgComplaintAck byte = 5
+)
+
+// Signature labels, domain-separating the three signed artifacts.
+const (
+	reqSigLabel     = "apna/v1/acct/shutoff-req"
+	receiptSigLabel = "apna/v1/acct/receipt"
+	digestSigLabel  = "apna/v1/acct/digest"
+)
+
+// Codec and verification errors.
+var (
+	ErrBadComplaint = errors.New("accountability: malformed complaint")
+	ErrBadRequest   = errors.New("accountability: malformed shutoff request")
+	ErrBadReceipt   = errors.New("accountability: malformed receipt")
+	ErrBadDigest    = errors.New("accountability: malformed digest")
+	ErrBadSignature = errors.New("accountability: AS signature verification failed")
+)
+
+// Complaint is what a victim host hands its own accountability agent:
+// the standard shutoff evidence (aa.Request — the offending packet,
+// the victim's signature over it, and the victim's certificate) plus
+// the offender's certificate, which names the offending AS and the
+// EphID of its accountability agent so the complaint can be routed
+// across the border. The victim-side AA verifies everything it can
+// locally (certificate chains, signature, addressing) before spending
+// an inter-domain round trip; only the per-packet MAC — keyed between
+// the offending host and its own AS — must wait for the source AA.
+type Complaint struct {
+	// OffenderCert is the certificate the offender presented during
+	// connection establishment.
+	OffenderCert cert.Cert
+	// Req is the shutoff evidence: victim certificate, victim signature
+	// and the offending packet.
+	Req aa.Request
+}
+
+// NewComplaint builds and signs a complaint. signer must hold the
+// private key bound to victimCert.
+func NewComplaint(packet []byte, victimCert, offenderCert *cert.Cert, signer *crypto.Signer) *Complaint {
+	return &Complaint{
+		OffenderCert: *offenderCert,
+		Req:          *aa.BuildRequest(packet, victimCert, signer),
+	}
+}
+
+// Encode serializes the complaint.
+func (c *Complaint) Encode() ([]byte, error) {
+	reqRaw, err := c.Req.Encode()
+	if err != nil {
+		return nil, err
+	}
+	offRaw, err := c.OffenderCert.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	return append(offRaw, reqRaw...), nil
+}
+
+// DecodeComplaint parses a serialized complaint.
+func DecodeComplaint(data []byte) (*Complaint, error) {
+	if len(data) < cert.Size {
+		return nil, fmt.Errorf("%w: %d bytes", ErrBadComplaint, len(data))
+	}
+	var c Complaint
+	if err := c.OffenderCert.UnmarshalBinary(data[:cert.Size]); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadComplaint, err)
+	}
+	req, err := aa.DecodeRequest(data[cert.Size:])
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadComplaint, err)
+	}
+	c.Req = *req
+	return &c, nil
+}
+
+// ShutoffRequest is the AA-to-AA form of a complaint: the encoded
+// complaint wrapped with the origin (victim-side) AS's identity and
+// Ed25519 signature, verifiable by the source AS through the RPKI
+// trust store. Seq and IssuedAt make requests distinguishable in logs;
+// replay safety comes from the receiver's request-hash idempotency
+// cache, not from these fields.
+type ShutoffRequest struct {
+	// Origin is the requesting (victim-side) AS.
+	Origin ephid.AID
+	// Seq is the origin's request counter.
+	Seq uint64
+	// IssuedAt is the origin's clock at signing, in Unix seconds.
+	IssuedAt int64
+	// Complaint is the encoded Complaint being forwarded.
+	Complaint []byte
+	// Signature is the origin AS's signature over all fields above.
+	Signature [crypto.SignatureSize]byte
+}
+
+func (r *ShutoffRequest) appendTBS(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(r.Origin))
+	dst = binary.BigEndian.AppendUint64(dst, r.Seq)
+	dst = binary.BigEndian.AppendUint64(dst, uint64(r.IssuedAt))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(r.Complaint)))
+	return append(dst, r.Complaint...)
+}
+
+// Sign computes and stores the origin AS's signature.
+func (r *ShutoffRequest) Sign(signer Signer) {
+	copy(r.Signature[:], signer.Sign(reqSigLabel, r.appendTBS(nil)))
+}
+
+// Verify checks the origin AS's signature, resolving its key through
+// the trust store.
+func (r *ShutoffRequest) Verify(trust TrustStore, nowUnix int64) error {
+	key, err := trust.SigKey(r.Origin, nowUnix)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrBadSignature, err)
+	}
+	if !crypto.Verify(key, reqSigLabel, r.appendTBS(nil), r.Signature[:]) {
+		return ErrBadSignature
+	}
+	return nil
+}
+
+// Encode serializes the signed request.
+func (r *ShutoffRequest) Encode() []byte {
+	return append(r.appendTBS(nil), r.Signature[:]...)
+}
+
+// DecodeShutoffRequest parses a serialized request (without verifying
+// it; call Verify).
+func DecodeShutoffRequest(data []byte) (*ShutoffRequest, error) {
+	const fixed = 4 + 8 + 8 + 4
+	if len(data) < fixed+crypto.SignatureSize {
+		return nil, fmt.Errorf("%w: %d bytes", ErrBadRequest, len(data))
+	}
+	var r ShutoffRequest
+	r.Origin = ephid.AID(binary.BigEndian.Uint32(data))
+	r.Seq = binary.BigEndian.Uint64(data[4:])
+	r.IssuedAt = int64(binary.BigEndian.Uint64(data[12:]))
+	n := int(binary.BigEndian.Uint32(data[20:]))
+	if len(data) != fixed+n+crypto.SignatureSize {
+		return nil, fmt.Errorf("%w: complaint length %d vs %d", ErrBadRequest, n, len(data)-fixed-crypto.SignatureSize)
+	}
+	r.Complaint = data[fixed : fixed+n]
+	copy(r.Signature[:], data[fixed+n:])
+	return &r, nil
+}
+
+// RequestHash identifies a shutoff request for idempotency: the SHA-256
+// of its full encoding. A bit-exact replay (or retransmission) hashes
+// identically and is answered with the cached receipt.
+func RequestHash(encoded []byte) [32]byte { return sha256.Sum256(encoded) }
+
+// Status classifies the outcome of a cross-AS shutoff request.
+type Status uint8
+
+const (
+	// StatusRevoked: the source AA revoked the EphID now.
+	StatusRevoked Status = iota + 1
+	// StatusAlreadyRevoked: the EphID (or its host) was already
+	// revoked — a no-op shutoff, acknowledged without a second strike.
+	StatusAlreadyRevoked
+	// StatusExpiredNoOp: the EphID had already expired, so there is
+	// nothing to revoke — expiry stops its traffic everywhere.
+	StatusExpiredNoOp
+	// StatusRejected: the complaint failed verification (forged proof,
+	// unauthorized requester, unknown source).
+	StatusRejected
+)
+
+// Stopped reports whether the status means the offending EphID can no
+// longer send (revoked now, revoked before, or expired).
+func (s Status) Stopped() bool {
+	return s == StatusRevoked || s == StatusAlreadyRevoked || s == StatusExpiredNoOp
+}
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case StatusRevoked:
+		return "revoked"
+	case StatusAlreadyRevoked:
+		return "already-revoked"
+	case StatusExpiredNoOp:
+		return "expired-noop"
+	case StatusRejected:
+		return "rejected"
+	default:
+		return fmt.Sprintf("status(%d)", uint8(s))
+	}
+}
+
+// Receipt is the source AA's signed answer to a shutoff request: what
+// happened, to which EphID, bound to the request by its hash. The
+// victim-side AA (and ultimately the complaining host) verifies it
+// end-to-end against the source AS's RPKI key.
+type Receipt struct {
+	// Issuer is the source AS that processed the request.
+	Issuer ephid.AID
+	// Status is the outcome.
+	Status Status
+	// SrcEphID is the offending EphID the request named.
+	SrcEphID ephid.EphID
+	// ExpTime is the EphID's expiration (0 when it never decrypted).
+	ExpTime uint32
+	// ReqHash binds the receipt to the request it answers.
+	ReqHash [32]byte
+	// IssuedAt is the issuer's clock at signing, in Unix seconds.
+	IssuedAt int64
+	// Signature is the issuer AS's signature over all fields above.
+	Signature [crypto.SignatureSize]byte
+}
+
+// ReceiptSize is the wire size of a receipt.
+const ReceiptSize = 4 + 1 + ephid.Size + 4 + 32 + 8 + crypto.SignatureSize
+
+func (r *Receipt) appendTBS(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(r.Issuer))
+	dst = append(dst, byte(r.Status))
+	dst = append(dst, r.SrcEphID[:]...)
+	dst = binary.BigEndian.AppendUint32(dst, r.ExpTime)
+	dst = append(dst, r.ReqHash[:]...)
+	return binary.BigEndian.AppendUint64(dst, uint64(r.IssuedAt))
+}
+
+// Sign computes and stores the issuer AS's signature.
+func (r *Receipt) Sign(signer Signer) {
+	copy(r.Signature[:], signer.Sign(receiptSigLabel, r.appendTBS(nil)))
+}
+
+// Verify checks the issuer AS's signature, resolving its key through
+// the trust store.
+func (r *Receipt) Verify(trust TrustStore, nowUnix int64) error {
+	key, err := trust.SigKey(r.Issuer, nowUnix)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrBadSignature, err)
+	}
+	if !crypto.Verify(key, receiptSigLabel, r.appendTBS(nil), r.Signature[:]) {
+		return ErrBadSignature
+	}
+	return nil
+}
+
+// Encode serializes the signed receipt.
+func (r *Receipt) Encode() []byte {
+	return append(r.appendTBS(make([]byte, 0, ReceiptSize)), r.Signature[:]...)
+}
+
+// DecodeReceipt parses a serialized receipt (without verifying it;
+// call Verify).
+func DecodeReceipt(data []byte) (*Receipt, error) {
+	if len(data) != ReceiptSize {
+		return nil, fmt.Errorf("%w: %d bytes", ErrBadReceipt, len(data))
+	}
+	var r Receipt
+	r.Issuer = ephid.AID(binary.BigEndian.Uint32(data))
+	off := 4
+	r.Status = Status(data[off])
+	off++
+	copy(r.SrcEphID[:], data[off:])
+	off += ephid.Size
+	r.ExpTime = binary.BigEndian.Uint32(data[off:])
+	off += 4
+	copy(r.ReqHash[:], data[off:])
+	off += 32
+	r.IssuedAt = int64(binary.BigEndian.Uint64(data[off:]))
+	off += 8
+	copy(r.Signature[:], data[off:])
+	return &r, nil
+}
+
+// DigestEntry is one revoked EphID with its expiration time.
+type DigestEntry struct {
+	EphID   ephid.EphID
+	ExpTime uint32
+}
+
+// Digest is a signed batch of an AS's live revocations, flooded
+// periodically to every peer AA. Digests are *cumulative* — each one
+// carries every revocation of the origin AS that has not yet expired —
+// so a digest lost or reordered by a chaotic link is repaired by the
+// next one, and installing a digest is idempotent. Seq increases with
+// every flush; receivers drop digests at or below the highest seq
+// already accepted from that origin, which rejects replays without
+// risking gaps.
+type Digest struct {
+	// Origin is the AS whose revocations these are.
+	Origin ephid.AID
+	// Seq is the origin's flush counter.
+	Seq uint64
+	// IssuedAt is the origin's clock at signing, in Unix seconds.
+	IssuedAt int64
+	// Entries lists the origin's live revocations, in EphID order.
+	Entries []DigestEntry
+	// Signature is the origin AS's signature over all fields above.
+	Signature [crypto.SignatureSize]byte
+}
+
+func (d *Digest) appendTBS(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(d.Origin))
+	dst = binary.BigEndian.AppendUint64(dst, d.Seq)
+	dst = binary.BigEndian.AppendUint64(dst, uint64(d.IssuedAt))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(d.Entries)))
+	for _, e := range d.Entries {
+		dst = append(dst, e.EphID[:]...)
+		dst = binary.BigEndian.AppendUint32(dst, e.ExpTime)
+	}
+	return dst
+}
+
+// Sign computes and stores the origin AS's signature.
+func (d *Digest) Sign(signer Signer) {
+	copy(d.Signature[:], signer.Sign(digestSigLabel, d.appendTBS(nil)))
+}
+
+// Verify checks the origin AS's signature, resolving its key through
+// the trust store.
+func (d *Digest) Verify(trust TrustStore, nowUnix int64) error {
+	key, err := trust.SigKey(d.Origin, nowUnix)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrBadSignature, err)
+	}
+	if !crypto.Verify(key, digestSigLabel, d.appendTBS(nil), d.Signature[:]) {
+		return ErrBadSignature
+	}
+	return nil
+}
+
+// Encode serializes the signed digest.
+func (d *Digest) Encode() []byte {
+	return append(d.appendTBS(nil), d.Signature[:]...)
+}
+
+// DecodeDigest parses a serialized digest (without verifying it; call
+// Verify).
+func DecodeDigest(data []byte) (*Digest, error) {
+	const fixed = 4 + 8 + 8 + 4
+	if len(data) < fixed+crypto.SignatureSize {
+		return nil, fmt.Errorf("%w: %d bytes", ErrBadDigest, len(data))
+	}
+	var d Digest
+	d.Origin = ephid.AID(binary.BigEndian.Uint32(data))
+	d.Seq = binary.BigEndian.Uint64(data[4:])
+	d.IssuedAt = int64(binary.BigEndian.Uint64(data[12:]))
+	n := int(binary.BigEndian.Uint32(data[20:]))
+	const entrySize = ephid.Size + 4
+	if len(data) != fixed+n*entrySize+crypto.SignatureSize {
+		return nil, fmt.Errorf("%w: %d entries vs %d bytes", ErrBadDigest, n, len(data))
+	}
+	d.Entries = make([]DigestEntry, n)
+	off := fixed
+	for i := range d.Entries {
+		copy(d.Entries[i].EphID[:], data[off:])
+		d.Entries[i].ExpTime = binary.BigEndian.Uint32(data[off+ephid.Size:])
+		off += entrySize
+	}
+	copy(d.Signature[:], data[off:])
+	return &d, nil
+}

@@ -356,3 +356,17 @@ func (a *Attacker) InjectCompromised(kind Kind, c *Compromised, dst wire.Endpoin
 	}
 	return a.inject(kind, frame, false)
 }
+
+// InjectCompromisedExternal sends a validly MACed frame from a stolen
+// identity at the router's external interface — the on-path position
+// *past* the source AS's egress checks. After the identity is revoked,
+// only a border that learned the revocation through the inter-domain
+// dissemination plane (remote revocation list) can drop these frames,
+// which is exactly what the E10 scenario probes.
+func (a *Attacker) InjectCompromisedExternal(kind Kind, c *Compromised, dst wire.Endpoint, payload []byte) error {
+	frame, err := c.Frame(dst, payload)
+	if err != nil {
+		return err
+	}
+	return a.inject(kind, frame, true)
+}

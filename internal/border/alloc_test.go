@@ -20,6 +20,13 @@ func egressFrame(t *testing.T, f *fixture) []byte {
 
 func ingressFrame(t *testing.T, f *fixture) []byte {
 	t.Helper()
+	// A populated remote revocation list makes the per-packet
+	// remote-source check a real lookup, not a trivially-empty map hit —
+	// the steady state once revocation digests have been installed.
+	for i := 0; i < 8; i++ {
+		e := f.sealer.Mint(ephid.Payload{HID: 999, ExpTime: uint32(f.now) + 600})
+		f.router.ApplyRemote(e, localAID, uint32(f.now)+600)
+	}
 	dst := f.sealer.Mint(ephid.Payload{HID: f.hid, ExpTime: uint32(f.now) + 600})
 	return f.hostFrame(t, localAID, dst, 0)
 }

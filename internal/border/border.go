@@ -47,6 +47,12 @@ const (
 	VerdictDropExpired
 	// VerdictDropRevoked: EphID is on the revocation list.
 	VerdictDropRevoked
+	// VerdictDropRevokedRemote: the frame's source EphID was revoked by
+	// a *remote* AS and learned through the inter-domain accountability
+	// plane (receipt or revocation digest). Checked at ingress so a
+	// remotely-shutoff sender cannot reach local hosts by injecting past
+	// its own AS's egress checks.
+	VerdictDropRevokedRemote
 	// VerdictDropUnknownHost: HID not registered or revoked.
 	VerdictDropUnknownHost
 	// VerdictDropBadMAC: per-packet MAC verification failed (spoofed
@@ -74,6 +80,8 @@ func (v Verdict) String() string {
 		return "drop-expired"
 	case VerdictDropRevoked:
 		return "drop-revoked"
+	case VerdictDropRevokedRemote:
+		return "drop-revoked-remote"
 	case VerdictDropUnknownHost:
 		return "drop-unknown-host"
 	case VerdictDropBadMAC:
@@ -89,7 +97,7 @@ func (v Verdict) String() string {
 	}
 }
 
-const verdictCount = 10
+const verdictCount = 11
 
 // VerdictCount is the number of distinct verdicts, exported so drivers
 // (e.g. the forwarding engine) can size per-verdict counter arrays.
@@ -142,8 +150,14 @@ type Router struct {
 	now    func() int64
 
 	revoked RevocationList
-	ctlCMAC ctlVerifier
-	stats   Stats
+	// remoteRevoked holds EphIDs revoked by other ASes, installed by the
+	// local accountability engine from verified receipts and revocation
+	// digests, scoped per announcing AS. Same sharded copy-on-write
+	// structure as the local list, so the per-packet ingress check stays
+	// lock-free and 0 allocs/op.
+	remoteRevoked RemoteRevocationList
+	ctlCMAC       ctlVerifier
+	stats         Stats
 
 	mu     sync.Mutex // serializes table mutations only
 	tables atomic.Pointer[forwardTables]
@@ -335,6 +349,14 @@ func (r *Router) IngressVerify(frame []byte) (Verdict, ephid.HID) {
 	}
 	if r.revoked.Contains(wire.FrameDstEphID(frame)) {
 		return VerdictDropRevoked, 0
+	}
+	// The paper's shutoff guarantee is inter-domain: a source EphID
+	// revoked by its own (remote) AS must stop being accepted here too,
+	// even if the frame was injected past that AS's egress checks. The
+	// lookup is origin-scoped: the drop applies only when the AS the
+	// frame claims as source is the AS that announced the revocation.
+	if r.remoteRevoked.Matches(wire.FrameSrcEphID(frame), wire.FrameSrcAID(frame)) {
+		return VerdictDropRevokedRemote, 0
 	}
 	if !r.db.Valid(p.HID) {
 		return VerdictDropUnknownHost, 0

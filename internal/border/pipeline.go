@@ -142,8 +142,9 @@ type IngressResult struct {
 // IngressPipeline is the per-worker ingress fast path: destination
 // EphID decrypt+validate plus the host table lookup (Figure 4, top).
 // Like EgressPipeline it caches EphID opens, so the steady state per
-// packet is one cached lookup, one revocation check and one host_info
-// check, all lock-free.
+// packet is one cached lookup, two revocation checks (local destination
+// list plus the remote list fed by revocation digests) and one
+// host_info check, all lock-free.
 //
 // A pipeline is not safe for concurrent use; create one per worker.
 type IngressPipeline struct {
@@ -174,6 +175,9 @@ func (p *IngressPipeline) process(frame []byte, now int64) IngressResult {
 	}
 	if r.revoked.Contains(wire.FrameDstEphID(frame)) {
 		return IngressResult{Verdict: VerdictDropRevoked}
+	}
+	if r.remoteRevoked.Matches(wire.FrameSrcEphID(frame), wire.FrameSrcAID(frame)) {
+		return IngressResult{Verdict: VerdictDropRevokedRemote}
 	}
 	if !r.db.Valid(pl.HID) {
 		return IngressResult{Verdict: VerdictDropUnknownHost}

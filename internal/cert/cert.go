@@ -10,7 +10,7 @@
 //
 // The paper uses a single Curve25519 key pair per EphID for both ECDH
 // and ed25519 signatures; the two operations need different key forms,
-// so this implementation binds one key of each type (see DESIGN.md §5).
+// so this implementation binds one key of each type (see DESIGN.md §8).
 package cert
 
 import (
@@ -100,6 +100,20 @@ func (c *Cert) Verify(asSigPub []byte, nowUnix int64) error {
 	}
 	if c.Expired(nowUnix) {
 		return fmt.Errorf("cert: %w", ephid.ErrExpired)
+	}
+	return nil
+}
+
+// VerifySignature checks only the issuer's signature, ignoring expiry.
+// The inter-domain accountability plane needs the split: a complaint
+// about a just-expired EphID must still route to the genuine issuing
+// AS (where it yields a no-op receipt), so the victim side
+// authenticates the offender's certificate without judging its expiry
+// — that verdict belongs to the issuing AS's clock.
+func (c *Cert) VerifySignature(asSigPub []byte) error {
+	tbs := c.appendTBS(make([]byte, 0, tbsSize))
+	if !crypto.Verify(asSigPub, sigLabel, tbs, c.Signature[:]) {
+		return ErrBadSignature
 	}
 	return nil
 }

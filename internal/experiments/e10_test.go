@@ -1,0 +1,56 @@
+package experiments
+
+import "testing"
+
+// TestE10DefaultGatePasses runs one seed of the default inter-domain
+// accountability configuration — the same gate CI sweeps — and checks
+// the verdict substance, not just the boolean.
+func TestE10DefaultGatePasses(t *testing.T) {
+	cfg := DefaultE10()
+	cfg.Seeds = []int64{1}
+	res, err := RunE10(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK {
+		t.Fatalf("gate failed: %+v", res.Verdicts[0].Failures)
+	}
+	v := res.Verdicts[0]
+	if v.ReceiptsVerified != cfg.ASes {
+		t.Fatalf("%d receipts verified, want %d", v.ReceiptsVerified, cfg.ASes)
+	}
+	if v.Revocations != uint64(cfg.ASes) {
+		t.Fatalf("%d revocations, want %d", v.Revocations, cfg.ASes)
+	}
+	if !v.InstallCoverageOK || v.DisseminationMaxMs <= 0 || v.DisseminationMaxMs > v.DisseminationBndMs {
+		t.Fatalf("dissemination %vms (bound %vms, coverage %v)",
+			v.DisseminationMaxMs, v.DisseminationBndMs, v.InstallCoverageOK)
+	}
+	if v.FalseAccepts != 0 || v.FalseRevocations != 0 {
+		t.Fatalf("false accepts %d, false revocations %d", v.FalseAccepts, v.FalseRevocations)
+	}
+	if v.DropRevokedRemote < uint64(v.CompromisedInjections) {
+		t.Fatalf("remote drops %d < compromised injections %d", v.DropRevokedRemote, v.CompromisedInjections)
+	}
+	if !v.Report.OK {
+		t.Fatalf("invariant report: %+v", v.Report)
+	}
+}
+
+func TestE10ConfigValidation(t *testing.T) {
+	bad := DefaultE10()
+	bad.ASes = 4
+	if _, err := RunE10(bad); err == nil {
+		t.Fatal("accepted a mesh too small for third-party dissemination probes")
+	}
+	bad = DefaultE10()
+	bad.Seeds = nil
+	if _, err := RunE10(bad); err == nil {
+		t.Fatal("accepted an empty seed sweep")
+	}
+	bad = DefaultE10()
+	bad.DigestInterval = 0
+	if _, err := RunE10(bad); err == nil {
+		t.Fatal("accepted a zero digest interval")
+	}
+}

@@ -1,9 +1,11 @@
 package host
 
 import (
+	"encoding/binary"
 	"fmt"
 
 	"apna/internal/aa"
+	"apna/internal/accountability"
 	"apna/internal/cert"
 	"apna/internal/icmp"
 	"apna/internal/wire"
@@ -93,4 +95,43 @@ func (h *Host) RequestShutoff(m Message) (wire.Endpoint, error) {
 	}
 	agent := wire.Endpoint{AID: peerCert.AID, EphID: peerCert.AAEphID}
 	return agent, h.send(wire.ProtoShutoff, 0, local.Cert.EphID, agent, payload)
+}
+
+// RequestComplaint files a complaint about the flow that delivered m
+// with this host's *own* accountability agent — the inter-domain
+// variant of RequestShutoff. The agent verifies the complaint, forwards
+// a signed shutoff request to the offender's AS, and answers with a
+// MsgComplaintAck carrying the source AS's signed receipt. It returns
+// the local agent endpoint the complaint was sent to and the
+// complaint's sequence number, which the agent echoes in the
+// acknowledgment — receipts from different offenders' ASes arrive in
+// arbitrary order, so acks cannot be matched FIFO.
+func (h *Host) RequestComplaint(m Message) (wire.Endpoint, uint64, error) {
+	key := sessKey{local: m.Flow.Dst.EphID, peer: m.Flow.Src}
+	peerCert, ok := h.peerCerts[key]
+	if !ok {
+		return wire.Endpoint{}, 0, ErrNoPeerCert
+	}
+	local, ok := h.pool[m.Flow.Dst.EphID]
+	if !ok {
+		return wire.Endpoint{}, 0, ErrNoEphID
+	}
+	if len(m.Raw) == 0 {
+		return wire.Endpoint{}, 0, fmt.Errorf("host: message carries no evidence frame")
+	}
+	c := accountability.NewComplaint(m.Raw, &local.Cert, peerCert, local.Sig)
+	enc, err := c.Encode()
+	if err != nil {
+		return wire.Endpoint{}, 0, err
+	}
+	h.complaintSeq++
+	seq := h.complaintSeq
+	payload := make([]byte, 0, 9+len(enc))
+	payload = append(payload, accountability.MsgComplaint)
+	payload = binary.BigEndian.AppendUint64(payload, seq)
+	payload = append(payload, enc...)
+	// The local agent's EphID is named in every certificate this AS
+	// issued — including the victim's own.
+	agent := wire.Endpoint{AID: h.cfg.AID, EphID: local.Cert.AAEphID}
+	return agent, seq, h.send(wire.ProtoAcct, wire.FlagControl, local.Cert.EphID, agent, payload)
 }

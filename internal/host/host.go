@@ -122,6 +122,11 @@ type Host struct {
 	hsCompleted map[hsFlowKey]hsAck
 
 	nonce uint64
+	// complaintSeq numbers this host's inter-domain complaints; the
+	// agent echoes it in the acknowledgment so concurrent complaints
+	// resolve to their own receipts regardless of the order in which
+	// remote ASes answer.
+	complaintSeq uint64
 
 	inbox        []Message
 	flowTaps     map[sessKey]func(Message) bool

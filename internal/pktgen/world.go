@@ -29,6 +29,12 @@ const (
 	// BadForgedDst carries a forged destination EphID (dropped at
 	// ingress).
 	BadForgedDst
+	// BadRemoteRevokedSrc carries a genuine, validly-MACed source EphID
+	// that the *destination* AS has learned is revoked through the
+	// inter-domain accountability plane — the frame passes the source
+	// AS's egress checks and is dropped only by the remote revocation
+	// list at ingress.
+	BadRemoteRevokedSrc
 
 	badKinds
 )
@@ -201,6 +207,8 @@ func mintLaneFrame(src, dst *Fixture, hostIdx int, nonce uint64, payload []byte,
 		src.Router.Revoked().Insert(srcEphID, exp)
 	case BadForgedDst:
 		rng.Read(dstEphID[:])
+	case BadRemoteRevokedSrc:
+		dst.Router.ApplyRemote(srcEphID, src.AID, exp)
 	}
 
 	p := wire.Packet{

@@ -68,6 +68,11 @@ const (
 	// ProtoShutoff carries shutoff requests to accountability agents
 	// (Section IV-E).
 	ProtoShutoff
+	// ProtoAcct carries the inter-domain accountability plane:
+	// host-to-AA complaints, AA-to-AA shutoff requests and receipts,
+	// and revocation-digest dissemination (Section IV-E applied across
+	// AS borders).
+	ProtoAcct
 )
 
 // String names the protocol number.
@@ -83,6 +88,8 @@ func (p NextProto) String() string {
 		return "icmp"
 	case ProtoShutoff:
 		return "shutoff"
+	case ProtoAcct:
+		return "acct"
 	default:
 		return fmt.Sprintf("proto(%d)", uint8(p))
 	}

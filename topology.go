@@ -27,6 +27,7 @@ type Topology struct {
 	attackers []topoAttacker
 	chaos     *ChaosConfig
 	lifetimes *Lifetimes
+	digest    *time.Duration
 	errs      []error
 }
 
@@ -127,6 +128,18 @@ func WithLifetimes(lt Lifetimes) TopologyOption {
 	return func(t *Topology) { t.Lifetimes(lt) }
 }
 
+// WithAccountability starts revocation-digest dissemination on the
+// built internet: every interval of virtual time each AS's
+// accountability engine floods a signed, cumulative digest of its live
+// revocations to every peer agent, so border routers across the whole
+// internet drop frames from remotely-revoked EphIDs. A non-positive
+// interval selects DefaultDigestInterval. Complaints (Host.Complain)
+// work without this option; only internet-wide dissemination needs the
+// timer.
+func WithAccountability(digestInterval time.Duration) TopologyOption {
+	return func(t *Topology) { t.Accountability(digestInterval) }
+}
+
 // NewTopology returns an empty topology for the chainable method API;
 // most callers use New with options instead.
 func NewTopology() *Topology { return &Topology{} }
@@ -164,6 +177,12 @@ func (t *Topology) Attacker(aid AID, name string) *Topology {
 // Lifetimes stores the lifecycle-engine configuration.
 func (t *Topology) Lifetimes(lt Lifetimes) *Topology {
 	t.lifetimes = &lt
+	return t
+}
+
+// Accountability stores the revocation-digest dissemination cadence.
+func (t *Topology) Accountability(digestInterval time.Duration) *Topology {
+	t.digest = &digestInterval
 	return t
 }
 
@@ -353,6 +372,9 @@ func (t *Topology) Build(seed int64) (*Internet, error) {
 	}
 	if t.lifetimes != nil {
 		in.StartLifecycle(*t.lifetimes)
+	}
+	if t.digest != nil {
+		in.StartAccountability(*t.digest)
 	}
 	return in, nil
 }

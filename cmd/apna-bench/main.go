@@ -4,14 +4,16 @@
 // connection-establishment latency analysis, the concurrent multi-flow
 // scenario (E6), the adversarial conformance sweep (E7), the multi-AS
 // parallel-engine saturation run (E8), the lifecycle endurance sweep
-// (E9), and the inter-domain accountability sweep (E10); each table
-// prints the paper's numbers next to the measured ones.
+// (E9), the inter-domain accountability sweep (E10), and the
+// million-host population ramp (E11); each table prints the paper's
+// numbers next to the measured ones.
 //
 // The -seed flag drives every seeded experiment (E2 trace, E6
-// scenario, E7/E9/E10 sweep bases, E8 traffic mix), so CI and local
-// runs can sweep seeds; E7, E9 and E10 additionally take -seeds for
-// the sweep width and exit nonzero if any paper invariant (E7),
-// lifecycle gate (E9) or inter-domain gate (E10) is violated.
+// scenario, E7/E9/E10 sweep bases, E8 traffic mix, E11 population
+// model), so CI and local runs can sweep seeds; E7, E9 and E10
+// additionally take -seeds for the sweep width, and E7/E9/E10/E11 exit
+// nonzero if any paper invariant (E7), lifecycle gate (E9),
+// inter-domain gate (E10) or population gate (E11) is violated.
 //
 // Usage:
 //
@@ -24,6 +26,8 @@
 //	apna-bench -exp e8 -ases 4 -fwd-workers 8 -json > BENCH_e8.json
 //	apna-bench -exp e9 -seed 1 -seeds 3 -windows 4 -json > BENCH_e9.json
 //	apna-bench -exp e10 -seed 1 -seeds 3 -json > BENCH_e10.json
+//	apna-bench -exp e11 -json > BENCH_e11.json     # 10^3→10^6 ramp
+//	apna-bench -exp e11 -e11-full -json            # extend to 10^7
 package main
 
 import (
@@ -39,12 +43,12 @@ import (
 
 func main() {
 	var (
-		exp         = flag.String("exp", "all", "experiment: e1, e2, e3 (includes e4), e5, e6, e7, e8, e9, e10, all")
+		exp         = flag.String("exp", "all", "experiment: e1, e2, e3 (includes e4), e5, e6, e7, e8, e9, e10, e11, all")
 		requests    = flag.Int("requests", 500_000, "E1: number of EphID requests")
 		workers     = flag.Int("workers", 4, "E1: parallel issuance workers (paper: 4)")
 		fwdHosts    = flag.Int("hosts", 256, "E3/E8: simulated source hosts (per AS for E8)")
 		pkts        = flag.Int("pkts", 500_000, "E3/E8: packets per worker")
-		fwdWork     = flag.Int("fwd-workers", runtime.NumCPU(), "E3/E8: forwarding workers (cores)")
+		fwdWork     = flag.Int("fwd-workers", runtime.NumCPU(), "E3/E8: forwarding workers, E11: population workers (cores)")
 		small       = flag.Bool("small", false, "E2: use a small trace instead of paper scale")
 		oneWay      = flag.Duration("oneway", 25*time.Millisecond, "E5: one-way inter-AS latency")
 		seed        = flag.Int64("seed", 1, "base seed for every seeded experiment (E2, E6, E7, E8)")
@@ -58,6 +62,9 @@ func main() {
 		e9Life      = flag.Uint("ephid-life", 120, "E9: client EphID lifetime in seconds")
 		e10ASes     = flag.Int("acct-ases", 8, "E10: autonomous systems in the full mesh")
 		e10Digest   = flag.Duration("digest", 10*time.Second, "E10: revocation-digest dissemination interval")
+		e11Ticks    = flag.Int("pop-ticks", experiments.DefaultE11().Ticks, "E11: virtual ticks per population tier")
+		e11Bound    = flag.Float64("p99-bound", experiments.DefaultE11().P99BoundMs, "E11: issuance p99 gate in milliseconds")
+		e11Full     = flag.Bool("e11-full", false, "E11: extend the ramp to 10^7 modeled hosts")
 	)
 	flag.Parse()
 
@@ -218,6 +225,37 @@ func main() {
 		fmt.Println()
 		if !ok {
 			fmt.Fprintln(os.Stderr, "apna-bench: E10 inter-domain gate failures")
+			os.Exit(2)
+		}
+	}
+
+	if run("e11") {
+		cfg := experiments.DefaultE11()
+		cfg.Ticks = *e11Ticks
+		cfg.Workers = *fwdWork
+		cfg.Seed = *seed
+		cfg.P99BoundMs = *e11Bound
+		if *e11Full {
+			cfg.Tiers = append(cfg.Tiers, experiments.FullTopTier)
+		}
+		fmt.Fprintf(os.Stderr, "population ramp: %d tiers to %d hosts, %d ticks/tier...\n",
+			len(cfg.Tiers), cfg.Tiers[len(cfg.Tiers)-1], cfg.Ticks)
+		res, err := experiments.RunE11(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		if *jsonOut {
+			// The summary goes to stderr so stdout stays a clean
+			// single-object JSON artifact (BENCH_e11.json).
+			res.Fprint(os.Stderr)
+		}
+		ok, err := res.Report(os.Stdout, *jsonOut)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+		if !ok {
+			fmt.Fprintln(os.Stderr, "apna-bench: E11 population gate failures")
 			os.Exit(2)
 		}
 	}

@@ -5,10 +5,12 @@
 // the adversarial conformance scenario (E7), which adds attackers,
 // chaos links and the paper-invariant referee, the lifecycle endurance
 // scenario (E9), which runs long-lived flows across EphID expiry
-// horizons under the renewal engine, and the inter-domain
-// accountability scenario (E10), which carries shutoffs AA-to-AA
-// across an 8-AS mesh and floods revocation digests. E7, E9 and E10
-// emit a JSON verdict per seed.
+// horizons under the renewal engine, the inter-domain accountability
+// scenario (E10), which carries shutoffs AA-to-AA across an 8-AS mesh
+// and floods revocation digests, and the population ramp (E11), which
+// pushes a trace-driven modeled population of 10^3→10^6 hosts through
+// one AS's control plane. E7, E9 and E10 emit a JSON verdict per seed;
+// E11 emits a single JSON object with a provenance block.
 //
 // The -seed flag (and for E7/E9/E10 -seeds, the sweep width) makes
 // runs reproducible and sweepable from CI.
@@ -22,6 +24,8 @@
 //	apna-scenario -exp e7 -seed 10 -seeds 8 -adversaries 3 -json
 //	apna-scenario -exp e9 -windows 5 -json # lifecycle endurance sweep
 //	apna-scenario -exp e10 -digest 5s -json # inter-domain accountability
+//	apna-scenario -exp e11 -json            # population ramp 10^3→10^6
+//	apna-scenario -exp e11 -e11-full -json  # extend the ramp to 10^7
 package main
 
 import (
@@ -38,8 +42,9 @@ func main() {
 	adv := experiments.DefaultAdversarial()
 	endur := experiments.DefaultE9()
 	acct := experiments.DefaultE10()
+	pop := experiments.DefaultE11()
 	var (
-		exp         = flag.String("exp", "e6", "scenario: e6 (concurrent), e7 (adversarial conformance), e9 (lifecycle endurance) or e10 (inter-domain accountability)")
+		exp         = flag.String("exp", "e6", "scenario: e6 (concurrent), e7 (adversarial conformance), e9 (lifecycle endurance), e10 (inter-domain accountability) or e11 (population ramp)")
 		ases        = flag.Int("ases", def.ASes, "number of ASes (full mesh)")
 		hosts       = flag.Int("hosts", def.HostsPerAS, "hosts per AS")
 		flows       = flag.Int("flows", def.FlowsPerHost, "flows dialed per host")
@@ -53,6 +58,10 @@ func main() {
 		windows     = flag.Int("windows", endur.Windows, "E9: EphID validity windows to cross")
 		ephidLife   = flag.Uint("ephid-life", uint(endur.EphIDLifetime), "E9: client EphID lifetime in seconds")
 		digest      = flag.Duration("digest", acct.DigestInterval, "E10: revocation-digest dissemination interval")
+		popTicks    = flag.Int("pop-ticks", pop.Ticks, "E11: virtual ticks per population tier")
+		popWorkers  = flag.Int("pop-workers", 0, "E11: population workers (0: all cores)")
+		p99Bound    = flag.Float64("p99-bound", pop.P99BoundMs, "E11: issuance p99 gate in milliseconds")
+		e11Full     = flag.Bool("e11-full", false, "E11: extend the ramp to 10^7 modeled hosts")
 	)
 	flag.Parse()
 
@@ -163,10 +172,42 @@ func main() {
 			fmt.Fprintln(os.Stderr, "apna-scenario: E10 inter-domain gate failures")
 			os.Exit(2)
 		}
+	case "e11":
+		cfg := pop
+		cfg.Ticks = *popTicks
+		cfg.Workers = *popWorkers
+		cfg.Seed = *seed
+		cfg.P99BoundMs = *p99Bound
+		if *e11Full {
+			cfg.Tiers = append(cfg.Tiers, experiments.FullTopTier)
+		}
+		res, err := experiments.RunE11(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		if *jsonOut {
+			// The summary goes to stderr so stdout stays a clean
+			// single-object JSON artifact (BENCH_e11.json).
+			res.Fprint(os.Stderr)
+		}
+		ok, err := res.Report(os.Stdout, *jsonOut)
+		if err != nil {
+			fatal(err)
+		}
+		if !ok {
+			fmt.Fprintln(os.Stderr, "apna-scenario: E11 population gate failures")
+			os.Exit(2)
+		}
 	default:
-		fatal(fmt.Errorf("unknown scenario %q (want e6, e7, e9 or e10)", *exp))
+		fatal(fmt.Errorf("unknown scenario %q (want e6, e7, e9, e10 or e11)", *exp))
 	}
-	fmt.Printf("  total wall time:     %v\n", time.Since(start).Round(time.Millisecond))
+	// Under -json stdout is the artifact; the timing line goes to
+	// stderr so `> BENCH_eN.json` stays clean.
+	out := os.Stdout
+	if *jsonOut {
+		out = os.Stderr
+	}
+	fmt.Fprintf(out, "  total wall time:     %v\n", time.Since(start).Round(time.Millisecond))
 }
 
 func fatal(err error) {

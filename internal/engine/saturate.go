@@ -8,6 +8,7 @@ import (
 	"sort"
 
 	"apna/internal/pktgen"
+	"apna/internal/provenance"
 )
 
 // SaturationConfig sizes a multi-AS throughput run: the parallel
@@ -55,6 +56,7 @@ func DefaultSaturation() SaturationConfig {
 // SaturationResult is the experiment output — the BENCH_e8.json shape.
 type SaturationResult struct {
 	Experiment string           `json:"experiment"`
+	Provenance provenance.Block `json:"provenance"`
 	Config     SaturationConfig `json:"config"`
 	Report     *Report          `json:"report"`
 }
@@ -83,7 +85,12 @@ func Saturate(cfg SaturationConfig) (*SaturationResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &SaturationResult{Experiment: "e8", Config: cfg, Report: rep}, nil
+	return &SaturationResult{
+		Experiment: "e8",
+		Provenance: provenance.Collect(cfg.Seed, cfg),
+		Config:     cfg,
+		Report:     rep,
+	}, nil
 }
 
 // JSON renders the result as the BENCH_e8.json artifact.

@@ -11,6 +11,7 @@ import (
 	"apna/internal/ephid"
 	"apna/internal/host"
 	"apna/internal/invariant"
+	"apna/internal/provenance"
 	"apna/internal/wire"
 )
 
@@ -145,6 +146,7 @@ func (v *E10Verdict) JSON() ([]byte, error) { return json.Marshal(v) }
 // E10Result aggregates the sweep.
 type E10Result struct {
 	Config      E10Config
+	Provenance  provenance.Block
 	Verdicts    []E10Verdict
 	OK          bool
 	WallElapsed time.Duration
@@ -167,7 +169,7 @@ func RunE10(cfg E10Config) (*E10Result, error) {
 		return nil, fmt.Errorf("experiments: e10 needs at least one seed")
 	}
 	start := time.Now()
-	res := &E10Result{Config: cfg, OK: true}
+	res := &E10Result{Config: cfg, Provenance: provenance.Collect(cfg.Seeds[0], cfg), OK: true}
 	for _, seed := range cfg.Seeds {
 		v, err := runE10Seed(cfg, seed)
 		if err != nil {
@@ -656,8 +658,19 @@ func (r *E10Result) Fprint(w io.Writer) {
 	fmt.Fprintf(w, "  %s (%v wall)\n", status, r.WallElapsed.Round(time.Millisecond))
 }
 
-// FprintJSON emits one JSON verdict per seed, one per line.
+// FprintJSON emits a provenance header line followed by one JSON
+// verdict per seed, one per line, keeping the artifact valid JSON-lines.
 func (r *E10Result) FprintJSON(w io.Writer) error {
+	header, err := json.Marshal(struct {
+		Experiment string           `json:"experiment"`
+		Provenance provenance.Block `json:"provenance"`
+	}{"e10", r.Provenance})
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s\n", header); err != nil {
+		return err
+	}
 	for i := range r.Verdicts {
 		raw, err := r.Verdicts[i].JSON()
 		if err != nil {

@@ -39,6 +39,15 @@ func TestRunE8SmallAndJSONShape(t *testing.T) {
 	if err := json.Unmarshal(data, &m); err != nil {
 		t.Fatal(err)
 	}
+	prov, ok := m["provenance"].(map[string]any)
+	if !ok {
+		t.Fatal("missing provenance object")
+	}
+	for _, key := range []string{"commit", "seed", "config_hash", "timestamp"} {
+		if _, ok := prov[key]; !ok {
+			t.Errorf("provenance JSON missing %q", key)
+		}
+	}
 	rep, ok := m["report"].(map[string]any)
 	if !ok {
 		t.Fatal("missing report object")

@@ -11,6 +11,7 @@ import (
 	"apna/internal/ephid"
 	"apna/internal/host"
 	"apna/internal/invariant"
+	"apna/internal/provenance"
 	"apna/internal/wire"
 )
 
@@ -147,6 +148,7 @@ func (v *E9Verdict) JSON() ([]byte, error) { return json.Marshal(v) }
 // E9Result aggregates the sweep.
 type E9Result struct {
 	Config      E9Config
+	Provenance  provenance.Block
 	Verdicts    []E9Verdict
 	OK          bool
 	WallElapsed time.Duration
@@ -162,7 +164,7 @@ func RunE9(cfg E9Config) (*E9Result, error) {
 		return nil, fmt.Errorf("experiments: e9 needs at least one seed")
 	}
 	start := time.Now()
-	res := &E9Result{Config: cfg, OK: true}
+	res := &E9Result{Config: cfg, Provenance: provenance.Collect(cfg.Seeds[0], cfg), OK: true}
 	for _, seed := range cfg.Seeds {
 		v, err := runE9Seed(cfg, seed)
 		if err != nil {
@@ -630,8 +632,19 @@ func (r *E9Result) Fprint(w io.Writer) {
 	fmt.Fprintf(w, "  %s (%v wall)\n", status, r.WallElapsed.Round(time.Millisecond))
 }
 
-// FprintJSON emits one JSON verdict per seed, one per line.
+// FprintJSON emits a provenance header line followed by one JSON
+// verdict per seed, one per line, keeping the artifact valid JSON-lines.
 func (r *E9Result) FprintJSON(w io.Writer) error {
+	header, err := json.Marshal(struct {
+		Experiment string           `json:"experiment"`
+		Provenance provenance.Block `json:"provenance"`
+	}{"e9", r.Provenance})
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s\n", header); err != nil {
+		return err
+	}
 	for i := range r.Verdicts {
 		raw, err := r.Verdicts[i].JSON()
 		if err != nil {

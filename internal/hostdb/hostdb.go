@@ -17,6 +17,7 @@ package hostdb
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 
@@ -66,7 +67,20 @@ type Entry struct {
 	RevokedAt int64
 }
 
-const shardCount = 64
+// DefaultShardCount is the shard count New uses. Larger populations
+// want more shards — writer throughput under churn scales with the
+// shard count because mutations serialize per shard — so NewSharded
+// lets callers size the table to the expected host population.
+const DefaultShardCount = 64
+
+// MaxShardCount bounds NewSharded: beyond this the fixed per-shard
+// overhead dominates any contention win.
+const MaxShardCount = 1 << 16
+
+// ErrBadShardCount reports an invalid NewSharded argument. The count
+// must be a power of two so shardFor can mask instead of divide on the
+// per-packet lookup path.
+var ErrBadShardCount = errors.New("hostdb: shard count must be a power of two in [1, 65536]")
 
 // holder is the stable per-HID cell. The shard map points at holders,
 // so a status change (Revoke, AddStrike) swaps the holder's entry
@@ -86,23 +100,42 @@ type shard struct {
 func (s *shard) load() shardMap { return *s.m.Load() }
 
 // DB is the sharded host database. The zero value is not usable; call
-// New.
+// New or NewSharded.
 type DB struct {
-	shards [shardCount]shard
+	shards []shard
+	mask   uint32
 }
 
-// New returns an empty database.
+// New returns an empty database with DefaultShardCount shards.
 func New() *DB {
-	db := &DB{}
-	for i := range db.shards {
-		m := make(shardMap)
-		db.shards[i].m.Store(&m)
+	db, err := NewSharded(DefaultShardCount)
+	if err != nil {
+		panic(err) // DefaultShardCount is a valid power of two
 	}
 	return db
 }
 
+// NewSharded returns an empty database with the given shard count,
+// which must be a power of two in [1, MaxShardCount]. Size it to the
+// expected population: one shard per few thousand hosts keeps writer
+// contention and per-mutation clone costs flat as the host count grows.
+func NewSharded(count int) (*DB, error) {
+	if count <= 0 || count > MaxShardCount || count&(count-1) != 0 {
+		return nil, fmt.Errorf("%w: %d", ErrBadShardCount, count)
+	}
+	db := &DB{shards: make([]shard, count), mask: uint32(count - 1)}
+	for i := range db.shards {
+		m := make(shardMap)
+		db.shards[i].m.Store(&m)
+	}
+	return db, nil
+}
+
+// ShardCount reports how many shards the database was built with.
+func (db *DB) ShardCount() int { return len(db.shards) }
+
 func (db *DB) shardFor(hid ephid.HID) *shard {
-	return &db.shards[uint32(hid)%shardCount]
+	return &db.shards[uint32(hid)&db.mask]
 }
 
 // clone copies a shard map so a writer can extend it without touching
@@ -150,9 +183,9 @@ func (db *DB) Put(e Entry) {
 // hosts, where per-Put map cloning would be quadratic.
 func (db *DB) PutBatch(entries []Entry) {
 	// Group by shard index first so each shard is cloned at most once.
-	var byShard [shardCount][]Entry
+	byShard := make([][]Entry, len(db.shards))
 	for _, e := range entries {
-		i := uint32(e.HID) % shardCount
+		i := uint32(e.HID) & db.mask
 		byShard[i] = append(byShard[i], e)
 	}
 	for i := range byShard {

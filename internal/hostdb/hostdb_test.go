@@ -207,3 +207,55 @@ func TestGCKeepsUntimestampedRevocations(t *testing.T) {
 		t.Errorf("entry gone: %v", err)
 	}
 }
+
+// TestNewSharded: the shard count is configurable, must be a power of
+// two, and every operation distributes correctly across non-default
+// shard counts.
+func TestNewSharded(t *testing.T) {
+	for _, bad := range []int{0, -1, 3, 6, 48, 100, MaxShardCount * 2} {
+		if _, err := NewSharded(bad); err == nil {
+			t.Errorf("NewSharded(%d) accepted a non-power-of-two count", bad)
+		}
+	}
+	for _, good := range []int{1, 2, 64, 256, MaxShardCount} {
+		db, err := NewSharded(good)
+		if err != nil {
+			t.Fatalf("NewSharded(%d): %v", good, err)
+		}
+		if db.ShardCount() != good {
+			t.Errorf("ShardCount = %d, want %d", db.ShardCount(), good)
+		}
+	}
+
+	// Exercise the full surface on a 4-shard table with HIDs that cover
+	// every shard index (and wrap beyond the shard count).
+	db, err := NewSharded(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const hosts = 64
+	entries := make([]Entry, 0, hosts)
+	for i := 0; i < hosts; i++ {
+		entries = append(entries, Entry{HID: ephid.HID(i + 1)})
+	}
+	db.PutBatch(entries)
+	if db.Len() != hosts {
+		t.Fatalf("Len = %d, want %d", db.Len(), hosts)
+	}
+	for i := 0; i < hosts; i++ {
+		if !db.Valid(ephid.HID(i + 1)) {
+			t.Fatalf("host %d invalid after PutBatch", i+1)
+		}
+	}
+	db.RevokeAt(7, 100)
+	if db.Valid(7) {
+		t.Error("revoked host still valid")
+	}
+	if n := db.GC(100+1000, 900); n != 1 {
+		t.Errorf("GC reaped %d, want 1", n)
+	}
+	db.Delete(8)
+	if db.Len() != hosts-2 {
+		t.Errorf("Len = %d, want %d", db.Len(), hosts-2)
+	}
+}

@@ -164,14 +164,46 @@ type Service struct {
 	// Issued counts successfully issued EphIDs.
 	issued func()
 
-	// renewMu guards the per-host renewal rate-limit windows; renewals
-	// are control-plane events, so a mutex is fine here where the
-	// issuance path itself stays lock-free.
-	renewMu sync.Mutex
-	renews  map[ephid.HID]*renewWindow
+	// renews shards the per-HID renewal rate-limit windows by HID. A
+	// single mutex over a single map was fine for tens of hosts, but a
+	// synchronized renewal storm at ISP scale (every host whose EphIDs
+	// were issued in the same second renewing in the same tick) would
+	// serialize all issuance workers on it; sharding keeps the budget
+	// check per-HID-local, and each shard prunes its lapsed windows
+	// opportunistically so host churn cannot grow the table without
+	// bound.
+	renews [renewShardCount]renewShard
 
 	renewed     atomic.Uint64
 	renewDenied atomic.Uint64
+}
+
+// renewShardCount is the renewal-window shard count (a power of two so
+// the shard index is a mask, like hostdb).
+const renewShardCount = 64
+
+// renewPruneEvery is how many window insertions a shard accepts before
+// sweeping lapsed windows. A lapsed window holds no budget information
+// — re-insertion starts a fresh window — so sweeping is purely a
+// memory bound, amortized O(1) per insertion.
+const renewPruneEvery = 4096
+
+// renewShard is one shard of the renewal-budget table.
+type renewShard struct {
+	mu sync.Mutex
+	m  map[ephid.HID]*renewWindow
+	// writes counts insertions since the last prune.
+	writes int
+}
+
+// prune removes windows that lapsed before now. Called with mu held.
+func (sh *renewShard) prune(now, window int64) {
+	for hid, w := range sh.m {
+		if now-w.start >= window {
+			delete(sh.m, hid)
+		}
+	}
+	sh.writes = 0
 }
 
 // renewWindow is one host's renewal budget accounting: renewals used
@@ -185,11 +217,14 @@ type renewWindow struct {
 // peers know where to send shutoff requests.
 func New(aid ephid.AID, sealer *ephid.Sealer, signer *crypto.Signer, db *hostdb.DB,
 	policy Policy, aaEphID ephid.EphID, now func() int64) *Service {
-	return &Service{
+	s := &Service{
 		aid: aid, sealer: sealer, signer: signer, db: db,
 		policy: policy, aaEphID: aaEphID, now: now, issued: func() {},
-		renews: make(map[ephid.HID]*renewWindow),
 	}
+	for i := range s.renews {
+		s.renews[i].m = make(map[ephid.HID]*renewWindow)
+	}
+	return s
 }
 
 // SetIssuedHook installs a callback fired per successful issuance
@@ -223,12 +258,18 @@ func (s *Service) checkRenewal(hid ephid.HID, req *Request, now int64) error {
 	if window == 0 {
 		window = int64(DefaultRenewWindow)
 	}
-	s.renewMu.Lock()
-	defer s.renewMu.Unlock()
-	w := s.renews[hid]
+	sh := &s.renews[uint32(hid)&(renewShardCount-1)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	w := sh.m[hid]
 	if w == nil || now-w.start >= window {
+		if w == nil {
+			if sh.writes++; sh.writes >= renewPruneEvery {
+				sh.prune(now, window)
+			}
+		}
 		w = &renewWindow{start: now}
-		s.renews[hid] = w
+		sh.m[hid] = w
 	}
 	if w.used >= s.policy.RenewBurst {
 		s.renewDenied.Add(1)
@@ -236,6 +277,21 @@ func (s *Service) checkRenewal(hid ephid.HID, req *Request, now int64) error {
 	}
 	w.used++
 	return nil
+}
+
+// RenewTracked reports how many per-HID renewal windows the service
+// currently holds (lapsed windows linger until their shard's next
+// prune). It exists for capacity observability: the population engine
+// graphs it against the modeled host count.
+func (s *Service) RenewTracked() int {
+	n := 0
+	for i := range s.renews {
+		sh := &s.renews[i]
+		sh.mu.Lock()
+		n += len(sh.m)
+		sh.mu.Unlock()
+	}
+	return n
 }
 
 // HandleRequest implements Figure 3. srcEphID is the source EphID of

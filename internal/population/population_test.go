@@ -1,0 +1,243 @@
+package population
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// smallConfig is a population run small enough to execute twice in a
+// unit test but busy enough to cross every path: renewal storms
+// (lifetime 6s inside 30 ticks), churn, complaints with replays, GC and
+// digest flushes.
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Hosts = 600
+	cfg.Ticks = 30
+	cfg.Workers = 4
+	cfg.EphIDLifetime = 6
+	cfg.RenewLead = 1
+	cfg.ChurnFrac = 0.01
+	cfg.PeakSessionsPerHost = 0.05
+	cfg.GCEvery = 5
+	cfg.DigestEvery = 5
+	cfg.RecordTrace = true
+	return cfg
+}
+
+// logical strips a Result to its deterministic fields (wall-clock
+// measurements excluded).
+type logical struct {
+	arrivals, poolHits, issued, overflow, renewals, denied, noEphID uint64
+	joins, leaves, bytes, complaints, replays, revoked, dups        uint64
+	gcReaped, digestLast, hostdb                                    int
+	digestBytes, events, traceEvents                                uint64
+	trace                                                           string
+}
+
+func logicalOf(r *Result) logical {
+	return logical{
+		arrivals: r.Arrivals, poolHits: r.PoolHits, issued: r.Issued,
+		overflow: r.OverflowIssued, renewals: r.Renewals, denied: r.RenewDenied,
+		noEphID: r.ErrNoEphID, joins: r.Joins, leaves: r.Leaves,
+		bytes: r.ModeledBytes, complaints: r.Complaints, replays: r.Replays,
+		revoked: r.OffendersRevoked, dups: r.AcctDuplicates,
+		gcReaped: r.GCReaped, digestLast: r.DigestEntriesLast, hostdb: r.HostdbHosts,
+		digestBytes: r.DigestBytes, events: r.Events, traceEvents: r.TraceEvents,
+		trace: r.TraceHash,
+	}
+}
+
+// TestDeterministicTrace is the satellite's core claim: the same seed
+// yields the identical logical event trace and counters, run to run,
+// despite the workers running on real concurrent cores.
+func TestDeterministicTrace(t *testing.T) {
+	cfg := smallConfig()
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("run 1: %v", err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("run 2: %v", err)
+	}
+	if a.TraceHash == "" || a.TraceEvents == 0 {
+		t.Fatalf("no trace recorded: hash %q, events %d", a.TraceHash, a.TraceEvents)
+	}
+	if la, lb := logicalOf(a), logicalOf(b); la != lb {
+		t.Fatalf("same seed diverged:\n run1 %+v\n run2 %+v", la, lb)
+	}
+
+	cfg.Seed = 99
+	c, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("run 3: %v", err)
+	}
+	if c.TraceHash == a.TraceHash {
+		t.Fatalf("different seeds produced the same trace hash %s", a.TraceHash)
+	}
+}
+
+// TestRunExercisesControlPlane checks the workload actually reaches
+// every engine the subsystem claims to drive.
+func TestRunExercisesControlPlane(t *testing.T) {
+	r, err := Run(smallConfig())
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if r.ErrNoEphID != 0 {
+		t.Errorf("ErrNoEphID = %d, want 0", r.ErrNoEphID)
+	}
+	if r.Issued == 0 || r.Arrivals == 0 {
+		t.Errorf("no issuance traffic: arrivals %d issued %d", r.Arrivals, r.Issued)
+	}
+	if r.Renewals == 0 {
+		t.Errorf("no renewals — storm path untested")
+	}
+	if r.PoolHits == 0 {
+		t.Errorf("no pool hits — pool path untested")
+	}
+	if r.Leaves == 0 || r.Joins != r.Leaves {
+		t.Errorf("churn mismatch: joins %d leaves %d", r.Joins, r.Leaves)
+	}
+	if r.GCReaped == 0 {
+		t.Errorf("GC reaped nothing despite churn")
+	}
+	if r.Complaints == 0 || r.ReceiptStatus["revoked"] == 0 {
+		t.Errorf("complaint path idle: %d complaints, statuses %v", r.Complaints, r.ReceiptStatus)
+	}
+	if r.Replays > 0 && r.AcctDuplicates == 0 {
+		t.Errorf("%d replays but the receipt cache saw no duplicates", r.Replays)
+	}
+	if r.OffendersRevoked == 0 {
+		t.Errorf("strike escalation never revoked an offender")
+	}
+	if r.DigestFlushes == 0 || r.DigestBytes == 0 {
+		t.Errorf("digest path idle: %d flushes, %d bytes", r.DigestFlushes, r.DigestBytes)
+	}
+	if r.HostdbHosts == 0 || r.HostdbShards < 64 {
+		t.Errorf("hostdb state: %d hosts, %d shards", r.HostdbHosts, r.HostdbShards)
+	}
+	if r.IssueLatency.Count == 0 || r.IssueLatency.P99us <= 0 {
+		t.Errorf("issue latency reservoir empty: %+v", r.IssueLatency)
+	}
+	if r.PeakRSSBytes == 0 {
+		t.Errorf("peak RSS not measured")
+	}
+}
+
+// TestParetoDurationMoments checks the duration sampler against the
+// mixture's analytic mean within tolerance: 95% exponential(45s) plus
+// 5% Pareto(1.3, 60s) truncated at 6h.
+func TestParetoDurationMoments(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const n = 200_000
+	var sum float64
+	deepTail := 0
+	const tailCut = 1000.0 // far beyond the exponential's reach
+	for i := 0; i < n; i++ {
+		d := sampleDuration(rng)
+		sum += float64(d)
+		if float64(d) > tailCut {
+			deepTail++
+		}
+	}
+	mean := sum / n
+
+	// Truncated-Pareto mean: E[min(X, cap)] for X ~ Pareto(a, xm) is
+	// xm*a/(a-1) - (cap/(a-1))*(xm/cap)^a.
+	a, xm, cap := tortoiseAlpha, tortoiseXmS, tortoiseCapS
+	tortoiseMean := paretoMean(a, xm) - cap/(a-1)*math.Pow(xm/cap, a)
+	want := dragonflyFrac*dragonflyMeanS + (1-dragonflyFrac)*tortoiseMean
+	if rel := math.Abs(mean-want) / want; rel > 0.10 {
+		t.Errorf("duration mean %.1fs, want %.1fs ±10%% (rel err %.3f)", mean, want, rel)
+	}
+	// Deep-tail mass comes only from the Pareto component:
+	// P(D > c) = (1 - dragonflyFrac) * (xm/c)^alpha.
+	frac := float64(deepTail) / n
+	wantTail := (1 - dragonflyFrac) * math.Pow(tortoiseXmS/tailCut, tortoiseAlpha)
+	if frac < wantTail/2 || frac > wantTail*2 {
+		t.Errorf("deep-tail fraction %.5f, want ~%.5f (×/÷2)", frac, wantTail)
+	}
+}
+
+// TestParetoSizeMoments checks the flow-size sampler's mean against the
+// truncated Pareto closed form.
+func TestParetoSizeMoments(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const n = 500_000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += float64(sampleSize(rng))
+	}
+	mean := sum / n
+	a, xm, cap := sizeAlpha, float64(sizeXmB), float64(sizeCapB)
+	want := paretoMean(a, xm) - cap/(a-1)*math.Pow(xm/cap, a)
+	if rel := math.Abs(mean-want) / want; rel > 0.10 {
+		t.Errorf("size mean %.0fB, want %.0fB ±10%% (rel err %.3f)", mean, want, rel)
+	}
+}
+
+// TestDiurnalIntensity checks the raised-cosine curve's shape: the peak
+// sits at 14/24 of the period, the trough half a period away, and the
+// peak-to-trough ratio matches peak/base.
+func TestDiurnalIntensity(t *testing.T) {
+	const period = 86_400
+	peakTick := period * 14 / 24
+	troughTick := period * 2 / 24
+	peak := intensity(4.0, 1.0, peakTick, period)
+	trough := intensity(4.0, 1.0, troughTick, period)
+	if math.Abs(peak-4.0) > 1e-6 {
+		t.Errorf("intensity at peak hour = %v, want 4.0", peak)
+	}
+	if math.Abs(trough-1.0) > 1e-6 {
+		t.Errorf("intensity at trough hour = %v, want 1.0", trough)
+	}
+	for tick := 0; tick < period; tick += 600 {
+		v := intensity(4.0, 1.0, tick, period)
+		if v < 1.0-1e-9 || v > 4.0+1e-9 {
+			t.Fatalf("intensity(%d) = %v outside [base, peak]", tick, v)
+		}
+	}
+}
+
+// TestPoissonMoments checks the Poisson sampler's mean in both regimes
+// (Knuth below the normal-approximation threshold, normal above).
+func TestPoissonMoments(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, lambda := range []float64{2.5, 200} {
+		const n = 100_000
+		var sum float64
+		for i := 0; i < n; i++ {
+			sum += float64(poisson(rng, lambda))
+		}
+		mean := sum / n
+		if rel := math.Abs(mean-lambda) / lambda; rel > 0.05 {
+			t.Errorf("poisson(%v) mean %.2f (rel err %.3f)", lambda, mean, rel)
+		}
+	}
+}
+
+// TestConfigValidation covers normalize's rejection surface.
+func TestConfigValidation(t *testing.T) {
+	base := DefaultConfig()
+	bad := []func(*Config){
+		func(c *Config) { c.Hosts = 0 },
+		func(c *Config) { c.Ticks = 0 },
+		func(c *Config) { c.PeakSessionsPerHost = 0 },
+		func(c *Config) { c.ZipfS = 0.5 },
+		func(c *Config) { c.EphIDLifetime = 1 },
+		func(c *Config) { c.RenewLead = 30; c.EphIDLifetime = 20 },
+		func(c *Config) { c.ChurnFrac = 1.5 },
+	}
+	for i, mutate := range bad {
+		cfg := base
+		mutate(&cfg)
+		if _, err := cfg.normalize(); err == nil {
+			t.Errorf("case %d: invalid config accepted: %+v", i, cfg)
+		}
+	}
+	if _, err := base.normalize(); err != nil {
+		t.Errorf("default config rejected: %v", err)
+	}
+}

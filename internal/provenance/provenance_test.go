@@ -1,0 +1,23 @@
+package provenance
+
+import "testing"
+
+func TestCollect(t *testing.T) {
+	type cfg struct {
+		Hosts int `json:"hosts"`
+	}
+	a := Collect(7, cfg{Hosts: 100})
+	if a.Seed != 7 || a.Commit == "" || a.GoVersion == "" || a.Timestamp == "" || a.CPUs <= 0 {
+		t.Fatalf("incomplete block: %+v", a)
+	}
+	if len(a.ConfigHash) != 64 {
+		t.Fatalf("config hash %q is not a sha256 hex digest", a.ConfigHash)
+	}
+	// Same config → same hash; different config → different hash.
+	if b := Collect(7, cfg{Hosts: 100}); b.ConfigHash != a.ConfigHash {
+		t.Errorf("identical configs hashed differently: %s vs %s", a.ConfigHash, b.ConfigHash)
+	}
+	if c := Collect(7, cfg{Hosts: 200}); c.ConfigHash == a.ConfigHash {
+		t.Errorf("distinct configs share hash %s", a.ConfigHash)
+	}
+}

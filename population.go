@@ -1,0 +1,46 @@
+package apna
+
+import (
+	"apna/internal/population"
+)
+
+// Population wiring: the facade's entry point to the trace-driven
+// population workload engine (experiment E11). Like Throughput, a
+// population run does NOT go through the deterministic event simulator:
+// it drives the control-plane engines — MS issuance and renewal, hostdb
+// churn and GC, AA strikes, accountability receipts and digests — from
+// share-nothing workers on real cores, modeling each host as a few
+// dozen bytes of state instead of a simulated process. That is what
+// lets 10^6–10^7 modeled hosts fit in one address space. Logical
+// outcomes (arrivals, renewals, denials, churn, the event-trace hash)
+// are still a pure function of the seeded configuration; only
+// wall-clock latency and RSS vary run to run.
+
+// PopulationConfig sizes a population run: modeled hosts, virtual
+// ticks, workers, seed, and the workload law (diurnal intensity, Zipf
+// popularity, heavy-tailed flow durations and sizes, EphID lifetime and
+// pool, churn, complaint cadence).
+type PopulationConfig = population.Config
+
+// PopulationResult is the run report: per-stage counters (issuance,
+// renewals and denials, pool hits, churn, GC reclaim, complaints,
+// digests), latency reservoirs, events/sec and peak RSS.
+type PopulationResult = population.Result
+
+// PopulationOpStats summarizes one control-plane operation's latency
+// distribution within a population run.
+type PopulationOpStats = population.OpStats
+
+// DefaultPopulationConfig returns the standard configuration: 10^4
+// hosts over a compressed 60-tick diurnal day.
+func DefaultPopulationConfig() PopulationConfig { return population.DefaultConfig() }
+
+// Population synthesizes a seeded host population and pushes its
+// workload through a fresh AS control plane:
+//
+//	res, _ := apna.Population(apna.DefaultPopulationConfig())
+//	fmt.Printf("%.0f events/s, issuance p99 %.0fµs\n",
+//		res.EventsPerSec, res.IssueLatency.P99us)
+func Population(cfg PopulationConfig) (*PopulationResult, error) {
+	return population.Run(cfg)
+}

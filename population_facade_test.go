@@ -1,0 +1,29 @@
+package apna
+
+import "testing"
+
+// TestPopulationFacade drives a tiny population run through the public
+// entry point and checks the scale metrics surface there.
+func TestPopulationFacade(t *testing.T) {
+	cfg := DefaultPopulationConfig()
+	cfg.Hosts = 400
+	cfg.Ticks = 20
+	cfg.Workers = 2
+	cfg.EphIDLifetime = 6
+	cfg.RenewLead = 1
+	cfg.PeakSessionsPerHost = 0.05
+	res, err := Population(cfg)
+	if err != nil {
+		t.Fatalf("Population: %v", err)
+	}
+	if res.ErrNoEphID != 0 {
+		t.Errorf("ErrNoEphID = %d, want 0", res.ErrNoEphID)
+	}
+	if res.Issued == 0 || res.Renewals == 0 {
+		t.Errorf("control plane idle: %d issued, %d renewals", res.Issued, res.Renewals)
+	}
+	if res.EventsPerSec <= 0 || res.PeakRSSBytes == 0 {
+		t.Errorf("scale metrics missing: %.0f events/s, %d RSS bytes",
+			res.EventsPerSec, res.PeakRSSBytes)
+	}
+}

@@ -11,9 +11,14 @@
 // The -seed flag drives every seeded experiment (E2 trace, E6
 // scenario, E7/E9/E10 sweep bases, E8 traffic mix, E11 population
 // model), so CI and local runs can sweep seeds; E7, E9 and E10
-// additionally take -seeds for the sweep width, and E7/E9/E10/E11 exit
-// nonzero if any paper invariant (E7), lifecycle gate (E9),
-// inter-domain gate (E10) or population gate (E11) is violated.
+// additionally take -seeds for the sweep width, and E7/E8/E9/E10/E11
+// exit nonzero if any paper invariant (E7), saturation sanity gate
+// (E8), lifecycle gate (E9), inter-domain gate (E10) or population
+// gate (E11) is violated.
+//
+// The trend-gated suites (E8, E11) additionally take -reruns N and
+// -out PREFIX to emit PREFIX_run1.json..PREFIX_runN.json — the rerun
+// sets cmd/apna-gate compares against the provenance-pinned baseline.
 //
 // Usage:
 //
@@ -65,8 +70,40 @@ func main() {
 		e11Ticks    = flag.Int("pop-ticks", experiments.DefaultE11().Ticks, "E11: virtual ticks per population tier")
 		e11Bound    = flag.Float64("p99-bound", experiments.DefaultE11().P99BoundMs, "E11: issuance p99 gate in milliseconds")
 		e11Full     = flag.Bool("e11-full", false, "E11: extend the ramp to 10^7 modeled hosts")
+		reruns      = flag.Int("reruns", 1, "E8/E11: repeat the run N times for the trend gate (requires -out for N > 1)")
+		outPrefix   = flag.String("out", "", "E8/E11: write each rerun's artifact to PREFIX_runN.json instead of stdout (implies -json)")
 	)
 	flag.Parse()
+	if *reruns < 1 {
+		fatal(fmt.Errorf("-reruns must be >= 1"))
+	}
+	if *reruns > 1 && *outPrefix == "" {
+		fatal(fmt.Errorf("-reruns > 1 needs -out so the artifacts land in separate files"))
+	}
+
+	// writeArtifact routes one rerun's artifact: to PREFIX_runN.json
+	// under -out (the trend gate compares the files), else stdout.
+	writeArtifact := func(run int, render func(w *os.File) error) {
+		if *outPrefix == "" {
+			if err := render(os.Stdout); err != nil {
+				fatal(err)
+			}
+			return
+		}
+		name := fmt.Sprintf("%s_run%d.json", *outPrefix, run)
+		f, err := os.Create(name)
+		if err != nil {
+			fatal(err)
+		}
+		if err := render(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", name)
+	}
 
 	run := func(name string) bool { return *exp == "all" || *exp == name }
 	peak := 0
@@ -162,16 +199,29 @@ func main() {
 		cfg.BadFrac = *e8Bad
 		cfg.PacketsPerWorker = *pkts
 		cfg.Seed = *seed
-		fmt.Fprintf(os.Stderr, "engine saturation: %d ASes x %d hosts, %d workers, %d pkts/worker...\n",
-			cfg.ASes, cfg.HostsPerAS, cfg.Workers, cfg.PacketsPerWorker)
-		res, err := experiments.RunE8(cfg)
-		if err != nil {
-			fatal(err)
-		}
-		if err := res.Fprint(os.Stdout, *jsonOut); err != nil {
-			fatal(err)
+		ok := true
+		for i := 1; i <= *reruns; i++ {
+			fmt.Fprintf(os.Stderr, "engine saturation (run %d/%d): %d ASes x %d hosts, %d workers, %d pkts/worker...\n",
+				i, *reruns, cfg.ASes, cfg.HostsPerAS, cfg.Workers, cfg.PacketsPerWorker)
+			res, err := experiments.RunE8(cfg)
+			if err != nil {
+				fatal(err)
+			}
+			writeArtifact(i, func(w *os.File) error {
+				return res.Fprint(w, *jsonOut || *outPrefix != "")
+			})
+			ok = ok && res.OK
+			if !res.OK {
+				for _, f := range res.Failures {
+					fmt.Fprintf(os.Stderr, "apna-bench: E8 gate: %s\n", f)
+				}
+			}
 		}
 		fmt.Println()
+		if !ok {
+			fmt.Fprintln(os.Stderr, "apna-bench: E8 saturation gate failures")
+			os.Exit(2)
+		}
 	}
 
 	if run("e9") {
@@ -238,20 +288,24 @@ func main() {
 		if *e11Full {
 			cfg.Tiers = append(cfg.Tiers, experiments.FullTopTier)
 		}
-		fmt.Fprintf(os.Stderr, "population ramp: %d tiers to %d hosts, %d ticks/tier...\n",
-			len(cfg.Tiers), cfg.Tiers[len(cfg.Tiers)-1], cfg.Ticks)
-		res, err := experiments.RunE11(cfg)
-		if err != nil {
-			fatal(err)
-		}
-		if *jsonOut {
-			// The summary goes to stderr so stdout stays a clean
-			// single-object JSON artifact (BENCH_e11.json).
-			res.Fprint(os.Stderr)
-		}
-		ok, err := res.Report(os.Stdout, *jsonOut)
-		if err != nil {
-			fatal(err)
+		ok := true
+		for i := 1; i <= *reruns; i++ {
+			fmt.Fprintf(os.Stderr, "population ramp (run %d/%d): %d tiers to %d hosts, %d ticks/tier...\n",
+				i, *reruns, len(cfg.Tiers), cfg.Tiers[len(cfg.Tiers)-1], cfg.Ticks)
+			res, err := experiments.RunE11(cfg)
+			if err != nil {
+				fatal(err)
+			}
+			if *jsonOut || *outPrefix != "" {
+				// The summary goes to stderr so the artifact stream
+				// stays a clean single JSON object (BENCH_e11.json).
+				res.Fprint(os.Stderr)
+			}
+			writeArtifact(i, func(w *os.File) error {
+				runOK, err := res.Report(w, *jsonOut || *outPrefix != "")
+				ok = ok && runOK
+				return err
+			})
 		}
 		fmt.Println()
 		if !ok {

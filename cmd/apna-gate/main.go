@@ -1,0 +1,247 @@
+// Command apna-gate is the statistical bench-trend gate: it compares
+// the current crop of BENCH_*.json artifacts against a provenance-
+// pinned baseline and fails (exit 2) only on a statistically confirmed
+// regression — a Mann–Whitney U test under the significance level
+// *and* a median shift beyond the minimum effect size, in the metric's
+// harmful direction. Noise never fails the gate; a missing or
+// config-hash-mismatched baseline is a skip ("no comparable
+// baseline"), never a false verdict.
+//
+// Usage:
+//
+//	apna-gate compare -store .benchgate BENCH_e8_run*.json BENCH_e11_run*.json
+//	apna-gate compare -base old1.json,old2.json BENCH_e8_run*.json
+//	apna-gate compare -store .benchgate -gate-json GATE.json -report report.md ...
+//	apna-gate update  -store .benchgate BENCH_e8_run*.json BENCH_e11_run*.json
+//
+// compare groups the given artifacts by (experiment, provenance config
+// hash) — so one invocation gates every experiment at once — loads
+// each group's baseline from -store (or the explicit -base file list),
+// and writes GATE.json plus report.md. update parses the given
+// artifacts and stores them as the new baselines for their config
+// hashes.
+//
+// Exit codes: 0 pass/improved/skip, 1 usage or parse error, 2
+// confirmed regression.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"apna/internal/benchgate"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(1)
+	}
+	switch os.Args[1] {
+	case "compare":
+		os.Exit(runCompare(os.Args[2:]))
+	case "update":
+		os.Exit(runUpdate(os.Args[2:]))
+	case "-h", "-help", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "apna-gate: unknown subcommand %q\n", os.Args[1])
+		usage()
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  apna-gate compare [-store DIR | -base f1,f2,...] [flags] ARTIFACT...
+  apna-gate update  -store DIR ARTIFACT...
+run "apna-gate compare -h" for the compare flags`)
+}
+
+func runCompare(args []string) int {
+	fs := flag.NewFlagSet("compare", flag.ExitOnError)
+	var (
+		storeDir  = fs.String("store", "", "baseline store directory (keyed by experiment + config hash)")
+		baseList  = fs.String("base", "", "comma-separated baseline artifact files (alternative to -store)")
+		alpha     = fs.Float64("alpha", benchgate.DefaultConfig().Alpha, "two-sided significance level")
+		minEffect = fs.Float64("min-effect", benchgate.DefaultConfig().MinEffect, "minimum relative median shift a confirmed change must exceed (0.05 = 5%)")
+		minRuns   = fs.Int("min-runs", benchgate.DefaultConfig().MinRuns, "minimum runs per side for a metric to be testable")
+		effects   = fs.String("metric-min-effect", "", "per-metric overrides, name=frac comma-separated (e.g. pps=0.1,issue_p99_us@1000000=0.2)")
+		gateJSON  = fs.String("gate-json", "", "write the machine-readable gate document here (GATE.json)")
+		reportMD  = fs.String("report", "", "write the human-readable report here (report.md)")
+	)
+	fs.Parse(args)
+	if fs.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "apna-gate: compare needs current artifact files")
+		return 1
+	}
+	if (*storeDir == "") == (*baseList == "") {
+		fmt.Fprintln(os.Stderr, "apna-gate: compare needs exactly one of -store or -base")
+		return 1
+	}
+	cfg := benchgate.Config{Alpha: *alpha, MinEffect: *minEffect, MinRuns: *minRuns}
+	var err error
+	if cfg.MetricMinEffect, err = parseEffects(*effects); err != nil {
+		fmt.Fprintln(os.Stderr, "apna-gate:", err)
+		return 1
+	}
+
+	groups, err := readGroups(fs.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "apna-gate:", err)
+		return 1
+	}
+	var baseGroups []*benchgate.Group
+	if *baseList != "" {
+		if baseGroups, err = readGroups(strings.Split(*baseList, ",")); err != nil {
+			fmt.Fprintln(os.Stderr, "apna-gate: baseline:", err)
+			return 1
+		}
+	}
+
+	var gates []*benchgate.GateResult
+	store := benchgate.Store{Dir: *storeDir}
+	for _, g := range groups {
+		baseline, err := baselineFor(g, store, baseGroups, *storeDir != "")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "apna-gate:", err)
+			return 1
+		}
+		res, err := benchgate.Compare(baseline, g.Artifacts, cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "apna-gate:", err)
+			return 1
+		}
+		gates = append(gates, res)
+	}
+
+	summary := benchgate.Summarize(gates)
+	if *gateJSON != "" {
+		raw, err := summary.JSON()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "apna-gate:", err)
+			return 1
+		}
+		if err := os.WriteFile(*gateJSON, append(raw, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "apna-gate:", err)
+			return 1
+		}
+	}
+	if *reportMD != "" {
+		if err := os.WriteFile(*reportMD, summary.Markdown(), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "apna-gate:", err)
+			return 1
+		}
+	}
+	printSummary(summary)
+	if !summary.OK {
+		fmt.Fprintln(os.Stderr, "apna-gate: statistically confirmed regression")
+		return 2
+	}
+	return 0
+}
+
+// baselineFor resolves one group's baseline side: the store entry for
+// its config hash, or the explicit -base group with the same
+// experiment (config-hash mismatches fall through to Compare, which
+// reports them as no-baseline skips).
+func baselineFor(g *benchgate.Group, store benchgate.Store, baseGroups []*benchgate.Group, useStore bool) ([]*benchgate.Artifact, error) {
+	if useStore {
+		arts, err := store.Load(g.Experiment, g.ConfigHash)
+		if err != nil {
+			if errors.Is(err, benchgate.ErrNoBaseline) {
+				return nil, nil
+			}
+			return nil, err
+		}
+		return arts, nil
+	}
+	for _, b := range baseGroups {
+		if b.Experiment == g.Experiment {
+			return b.Artifacts, nil
+		}
+	}
+	return nil, nil
+}
+
+func runUpdate(args []string) int {
+	fs := flag.NewFlagSet("update", flag.ExitOnError)
+	storeDir := fs.String("store", "", "baseline store directory")
+	fs.Parse(args)
+	if *storeDir == "" || fs.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "apna-gate: update needs -store and artifact files")
+		return 1
+	}
+	groups, err := readGroups(fs.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "apna-gate:", err)
+		return 1
+	}
+	store := benchgate.Store{Dir: *storeDir}
+	for _, g := range groups {
+		if err := store.Save(g.Raws); err != nil {
+			fmt.Fprintln(os.Stderr, "apna-gate:", err)
+			return 1
+		}
+		fmt.Printf("apna-gate: baseline for %s (config %.12s) <- %d run(s)\n",
+			g.Experiment, g.ConfigHash, len(g.Raws))
+	}
+	return 0
+}
+
+// readGroups loads and groups artifact files.
+func readGroups(paths []string) ([]*benchgate.Group, error) {
+	raws := make([][]byte, 0, len(paths))
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			return nil, err
+		}
+		raws = append(raws, data)
+	}
+	return benchgate.GroupArtifacts(paths, raws)
+}
+
+// parseEffects parses "name=frac,name=frac".
+func parseEffects(s string) (map[string]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	out := make(map[string]float64)
+	for _, pair := range strings.Split(s, ",") {
+		name, val, ok := strings.Cut(pair, "=")
+		if !ok {
+			return nil, fmt.Errorf("bad -metric-min-effect entry %q (want name=frac)", pair)
+		}
+		var f float64
+		if _, err := fmt.Sscanf(val, "%g", &f); err != nil || f < 0 {
+			return nil, fmt.Errorf("bad -metric-min-effect value %q", pair)
+		}
+		out[name] = f
+	}
+	return out, nil
+}
+
+// printSummary narrates each gate to stdout.
+func printSummary(s *benchgate.Summary) {
+	for _, g := range s.Gates {
+		switch g.Status {
+		case benchgate.StatusNoBaseline:
+			fmt.Printf("%-4s %-12s %s\n", g.Experiment, "SKIP", g.Reason)
+		case benchgate.StatusFail:
+			fmt.Printf("%-4s %-12s %d regression(s), %d improvement(s) over %d metric(s)\n",
+				g.Experiment, "FAIL", g.Regressions, g.Improvements, len(g.Metrics))
+			for _, m := range g.Metrics {
+				if m.Verdict == benchgate.VerdictFail {
+					fmt.Printf("       %s: %s\n", m.Name, m.Reason)
+				}
+			}
+		default:
+			fmt.Printf("%-4s %-12s %d metric(s), %d improvement(s)\n",
+				g.Experiment, strings.ToUpper(string(g.Status)), len(g.Metrics), g.Improvements)
+		}
+	}
+}

@@ -1,0 +1,17 @@
+// Package benchgate turns the repo's BENCH_*.json artifacts from
+// per-run snapshots into enforced trajectories: it parses every
+// artifact shape the bench job emits (single-object BENCH_e8/e11,
+// JSON-lines BENCH_e9/e10) into a common series of direction-tagged
+// metrics, aggregates N reruns per side, and applies a Mann–Whitney U
+// test with a minimum-effect-size threshold per metric, so noise never
+// fails the gate and real regressions cannot hide behind variance.
+//
+// Baselines are keyed by the provenance config hash stamped into every
+// artifact (internal/provenance): two runs compare like-for-like only
+// when their configuration digests match, and a mismatch yields "no
+// comparable baseline" — a skip, never a false verdict. The cmd front
+// end (cmd/apna-gate) wires the pieces into CI: restore baseline,
+// rerun the short suites, compare, publish GATE.json + report.md,
+// fail the build on a statistically confirmed regression, update the
+// baseline.
+package benchgate

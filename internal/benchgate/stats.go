@@ -1,0 +1,171 @@
+package benchgate
+
+import (
+	"math"
+	"sort"
+)
+
+// The gate's statistical core: a two-sided Mann–Whitney U test. It is
+// rank-based, so a single garbage rerun (a stalled CI runner, a cold
+// cache) cannot drag a mean across a threshold, and it needs no
+// normality assumption — bench latencies are anything but normal. For
+// the tiny per-side run counts CI affords (3–10) the exact U
+// distribution is enumerated, so the reported p-value is not an
+// approximation; the normal approximation (with tie correction) only
+// takes over for large samples or tied data, where it is accurate.
+
+// exactLimit bounds n*m for the exact U-distribution enumeration; CI
+// run counts are single digits, so the exact path is the common one.
+const exactLimit = 400
+
+// MannWhitneyU returns the two-sided p-value of the Mann–Whitney U
+// test for the hypothesis that a and b are drawn from the same
+// distribution. Either side empty yields p = 1 (no evidence).
+func MannWhitneyU(a, b []float64) float64 {
+	n, m := len(a), len(b)
+	if n == 0 || m == 0 {
+		return 1
+	}
+	u, ties := uStatistic(a, b)
+	if !ties && n*m <= exactLimit {
+		return exactP(n, m, u)
+	}
+	return normalP(n, m, u, tieCorrection(a, b))
+}
+
+// uStatistic computes U for a (pairs where a[i] beats b[j], ties at
+// half weight) and reports whether any cross-side ties occurred.
+func uStatistic(a, b []float64) (u float64, ties bool) {
+	for _, x := range a {
+		for _, y := range b {
+			switch {
+			case x > y:
+				u++
+			case x == y:
+				u += 0.5
+				ties = true
+			}
+		}
+	}
+	return u, ties
+}
+
+// exactP enumerates the null distribution of U — the number of
+// arrangements of n+m ranks yielding each U value — by the standard
+// recurrence f(n, m, u) = f(n-1, m, u-m) + f(n, m-1, u), and returns
+// the two-sided tail probability of the observed U.
+func exactP(n, m int, u float64) float64 {
+	dist := uDistribution(n, m)
+	total := 0.0
+	for _, c := range dist {
+		total += c
+	}
+	// Two-sided: double the smaller tail, clamp at 1. U is symmetric
+	// about n*m/2 under the null.
+	lo, hi := 0.0, 0.0
+	for uu, c := range dist {
+		if float64(uu) <= u {
+			lo += c
+		}
+		if float64(uu) >= u {
+			hi += c
+		}
+	}
+	p := 2 * math.Min(lo, hi) / total
+	return math.Min(p, 1)
+}
+
+// uDistribution returns counts[u] = number of rank arrangements with
+// statistic u, for sample sizes n and m, via the recurrence
+// f(i, j, u) = f(i-1, j, u-j) + f(i, j-1, u).
+func uDistribution(n, m int) []float64 {
+	maxU := n * m
+	// f[j][u] for the current i.
+	f := make([][]float64, m+1)
+	for j := range f {
+		f[j] = make([]float64, maxU+1)
+		f[j][0] = 1 // f(0, j, 0) = 1
+	}
+	for i := 1; i <= n; i++ {
+		g := make([][]float64, m+1)
+		for j := 0; j <= m; j++ {
+			g[j] = make([]float64, maxU+1)
+			for u := 0; u <= i*j; u++ {
+				v := 0.0
+				if u-j >= 0 {
+					v += f[j][u-j] // f(i-1, j, u-j)
+				}
+				if j > 0 {
+					v += g[j-1][u] // f(i, j-1, u)
+				}
+				g[j][u] = v
+			}
+			if j == 0 {
+				g[j][0] = 1
+			}
+		}
+		f = g
+	}
+	return f[m]
+}
+
+// normalP is the normal approximation with continuity and tie
+// correction.
+func normalP(n, m int, u, tieCorr float64) float64 {
+	nm := float64(n * m)
+	nTot := float64(n + m)
+	mu := nm / 2
+	variance := nm / 12 * (nTot + 1 - tieCorr/(nTot*(nTot-1)))
+	if variance <= 0 {
+		return 1 // all values tied: no evidence of any difference
+	}
+	z := u - mu
+	// Continuity correction toward the mean.
+	switch {
+	case z > 0.5:
+		z -= 0.5
+	case z < -0.5:
+		z += 0.5
+	default:
+		z = 0
+	}
+	z /= math.Sqrt(variance)
+	return math.Min(2*(1-phi(math.Abs(z))), 1)
+}
+
+// tieCorrection computes sum(t^3 - t) over tie groups of the pooled
+// sample.
+func tieCorrection(a, b []float64) float64 {
+	pooled := make([]float64, 0, len(a)+len(b))
+	pooled = append(pooled, a...)
+	pooled = append(pooled, b...)
+	sort.Float64s(pooled)
+	corr := 0.0
+	for i := 0; i < len(pooled); {
+		j := i
+		for j < len(pooled) && pooled[j] == pooled[i] {
+			j++
+		}
+		t := float64(j - i)
+		corr += t*t*t - t
+		i = j
+	}
+	return corr
+}
+
+// phi is the standard normal CDF.
+func phi(x float64) float64 { return 0.5 * (1 + math.Erf(x/math.Sqrt2)) }
+
+// median returns the sample median (0 for an empty sample).
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	mid := len(s) / 2
+	if len(s)%2 == 1 {
+		return s[mid]
+	}
+	return (s[mid-1] + s[mid]) / 2
+}

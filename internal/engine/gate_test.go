@@ -1,0 +1,79 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestGateFailures pins the saturation sanity gates behind
+// apna-bench's E8 exit code: a run that forwarded nothing, measured
+// nothing, miscounted, or failed to drop adversarial traffic must
+// produce failures — the regression test for the "apna-bench exits 0
+// on a failed JSON verdict" bug.
+func TestGateFailures(t *testing.T) {
+	healthy := &Report{Packets: 1000, Delivered: 900, Dropped: 100, PPS: 1e6}
+	cfg := DefaultSaturation()
+	if failures := GateFailures(cfg, healthy); failures != nil {
+		t.Fatalf("healthy report failed the gate: %v", failures)
+	}
+
+	cases := []struct {
+		name string
+		rep  Report
+		bad  float64
+		want string
+	}{
+		{"nothing delivered", Report{Packets: 1000, Dropped: 1000, PPS: 1e6}, 0.05, "no frames delivered"},
+		{"zero throughput", Report{Packets: 1000, Delivered: 900, Dropped: 100}, 0.05, "zero measured throughput"},
+		{"accounting mismatch", Report{Packets: 1000, Delivered: 900, Dropped: 50, PPS: 1e6}, 0.05, "accounting mismatch"},
+		{"no adversarial drops", Report{Packets: 1000, Delivered: 1000, PPS: 1e6}, 0.05, "no drops despite"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := DefaultSaturation()
+			cfg.BadFrac = tc.bad
+			failures := GateFailures(cfg, &tc.rep)
+			if len(failures) == 0 {
+				t.Fatal("broken report passed the gate")
+			}
+			joined := strings.Join(failures, "; ")
+			if !strings.Contains(joined, tc.want) {
+				t.Errorf("failures %q do not mention %q", joined, tc.want)
+			}
+		})
+	}
+
+	// A clean pure-honest run (BadFrac 0) with zero drops is fine.
+	cfg.BadFrac = 0
+	if failures := GateFailures(cfg, &Report{Packets: 1000, Delivered: 1000, PPS: 1e6}); failures != nil {
+		t.Errorf("honest-only run with zero drops failed: %v", failures)
+	}
+}
+
+// TestSaturateVerdictInResult runs a real (tiny) saturation and
+// requires the gate verdict embedded in the artifact: OK true on a
+// working data plane, and the JSON field present for downstream
+// tooling.
+func TestSaturateVerdictInResult(t *testing.T) {
+	cfg := DefaultSaturation()
+	cfg.ASes = 2
+	cfg.HostsPerAS = 4
+	cfg.FramesPerLane = 32
+	cfg.Workers = 2
+	cfg.PacketsPerWorker = 500
+	cfg.BadFrac = 0.2
+	res, err := Saturate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK || len(res.Failures) != 0 {
+		t.Fatalf("working data plane failed its own gate: %v", res.Failures)
+	}
+	raw, err := res.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), `"ok": true`) {
+		t.Error("BENCH_e8.json artifact does not carry the gate verdict")
+	}
+}

@@ -59,6 +59,37 @@ type SaturationResult struct {
 	Provenance provenance.Block `json:"provenance"`
 	Config     SaturationConfig `json:"config"`
 	Report     *Report          `json:"report"`
+	// OK is the run's gate verdict; Failures lists the breaches. A
+	// saturation run that forwarded nothing, or dropped nothing while
+	// adversarial frames were mixed in, measured a broken data plane —
+	// its throughput number must not be allowed to look like a result.
+	OK       bool     `json:"ok"`
+	Failures []string `json:"failures,omitempty"`
+}
+
+// GateFailures checks a saturation report's sanity gates: traffic was
+// actually delivered, throughput is nonzero, delivery accounting adds
+// up, and — when the mix contains adversarial frames — the pipelines
+// actually dropped some. cmd/apna-bench exits nonzero when any fail.
+func GateFailures(cfg SaturationConfig, rep *Report) []string {
+	var failures []string
+	fail := func(format string, args ...any) {
+		failures = append(failures, fmt.Sprintf(format, args...))
+	}
+	if rep.Delivered == 0 {
+		fail("no frames delivered end-to-end")
+	}
+	if rep.PPS <= 0 {
+		fail("zero measured throughput")
+	}
+	if rep.Delivered+rep.Dropped != rep.Packets {
+		fail("delivery accounting mismatch: %d delivered + %d dropped != %d packets",
+			rep.Delivered, rep.Dropped, rep.Packets)
+	}
+	if cfg.BadFrac > 0 && rep.Dropped == 0 {
+		fail("no drops despite %.0f%% adversarial frames", cfg.BadFrac*100)
+	}
+	return failures
 }
 
 // Saturate builds the multi-AS world and drives the engine over it.
@@ -85,11 +116,14 @@ func Saturate(cfg SaturationConfig) (*SaturationResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	failures := GateFailures(cfg, rep)
 	return &SaturationResult{
 		Experiment: "e8",
 		Provenance: provenance.Collect(cfg.Seed, cfg),
 		Config:     cfg,
 		Report:     rep,
+		OK:         len(failures) == 0,
+		Failures:   failures,
 	}, nil
 }
 
@@ -125,6 +159,14 @@ func (r *SaturationResult) Fprint(w io.Writer, jsonOut bool) error {
 		fmt.Fprintf(w, "  verdicts:\n")
 		for _, name := range verdictOrder(rep.Verdicts) {
 			fmt.Fprintf(w, "    %-22s %d\n", name, rep.Verdicts[name])
+		}
+	}
+	if r.OK {
+		fmt.Fprintf(w, "  gate: every saturation sanity gate held\n")
+	} else {
+		fmt.Fprintf(w, "  gate: FAILURES\n")
+		for _, f := range r.Failures {
+			fmt.Fprintf(w, "    %s\n", f)
 		}
 	}
 	fmt.Fprintf(w, "  paper: one decryption, two table lookups, one MAC verification per\n")

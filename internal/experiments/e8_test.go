@@ -29,6 +29,9 @@ func TestRunE8SmallAndJSONShape(t *testing.T) {
 	if res.Report.Dropped == 0 {
 		t.Fatal("expected drops with 20% bad traffic")
 	}
+	if !res.OK || len(res.Failures) != 0 {
+		t.Fatalf("healthy saturation run failed its own gate (apna-bench would exit 2): %v", res.Failures)
+	}
 
 	// The JSON artifact must carry the BENCH_e8.json essentials.
 	data, err := res.JSON()
@@ -51,6 +54,9 @@ func TestRunE8SmallAndJSONShape(t *testing.T) {
 	rep, ok := m["report"].(map[string]any)
 	if !ok {
 		t.Fatal("missing report object")
+	}
+	if _, ok := m["ok"]; !ok {
+		t.Error("artifact JSON missing the gate verdict field \"ok\"")
 	}
 	for _, key := range []string{"pps", "workers", "verdicts", "stages", "delivered", "dropped"} {
 		if _, ok := rep[key]; !ok {

@@ -39,6 +39,23 @@ type Block struct {
 	Timestamp string `json:"timestamp"`
 }
 
+// Comparable reports whether two blocks describe like-for-like runs:
+// both carry a configuration digest and the digests match. It is the
+// trend gate's admission rule — artifacts from different
+// configurations must never be compared, only skipped.
+func (b Block) Comparable(o Block) bool {
+	return b.ConfigHash != "" && b.ConfigHash == o.ConfigHash
+}
+
+// ShortConfigHash returns the first 12 hex digits of the config hash
+// for logs and reports ("" stays "").
+func (b Block) ShortConfigHash() string {
+	if len(b.ConfigHash) <= 12 {
+		return b.ConfigHash
+	}
+	return b.ConfigHash[:12]
+}
+
 // Collect builds the provenance block for one experiment run. config
 // is the experiment's configuration struct; its JSON encoding is
 // hashed, never embedded, so the block stays one line regardless of

@@ -33,6 +33,20 @@ type (
 	AcctEvent = accountability.Event
 	// AcctStats counts one AS engine's accountability-plane activity.
 	AcctStats = accountability.Stats
+	// DisseminationMode selects how digests travel between ASes.
+	DisseminationMode = accountability.Mode
+)
+
+// Re-exported dissemination modes.
+const (
+	// DisseminateMesh floods every digest directly to every peer AS —
+	// the paper-literal O(N²) conformance reference, and the default.
+	DisseminateMesh = accountability.ModeMesh
+	// DisseminateRelay forwards origin-signed digests along the overlay
+	// of physically linked ASes only (one batch per neighbor per
+	// interval) — O(N·degree) messages with latency bounded by overlay
+	// depth × interval.
+	DisseminateRelay = accountability.ModeRelay
 )
 
 // Re-exported receipt statuses.
@@ -58,12 +72,54 @@ var ErrComplaintRejected = errors.New("apna: complaint rejected by the accountab
 // StartAccountability uses when given a non-positive interval.
 const DefaultDigestInterval = 30 * time.Second
 
+// DefaultSnapshotEvery is the facade's anti-entropy cadence: every 2nd
+// digest flush carries the full announced set instead of a delta. It is
+// deliberately tighter than the engine's own default because facade
+// internets typically run under chaos with little churn — a receiver
+// that lost the one delta carrying a revocation sees no later delta to
+// reveal the gap, so the snapshot round is what repairs it, and its
+// cadence bounds dissemination latency under loss.
+const DefaultSnapshotEvery = 2
+
+// Dissemination configures the revocation-digest plane: the flush
+// cadence, the transport shape, and the anti-entropy snapshot period.
+// Zero values select DefaultDigestInterval, DisseminateMesh and
+// DefaultSnapshotEvery.
+type Dissemination struct {
+	// Interval is the digest flush cadence in virtual time.
+	Interval time.Duration
+	// Mode routes digests: DisseminateMesh floods every peer directly,
+	// DisseminateRelay forwards along physical links only.
+	Mode DisseminationMode
+	// SnapshotEvery makes every k-th flush a full snapshot (anti-entropy
+	// repair of lost or reordered deltas).
+	SnapshotEvery int
+}
+
+// ConfigureDissemination applies a dissemination configuration to every
+// AS engine and (re)starts the digest timer. The relay overlay is the
+// set of physically linked ASes (Connect / WithLink / generators), so
+// under DisseminateRelay digests follow the same provider/customer
+// edges packets do.
+func (in *Internet) ConfigureDissemination(d Dissemination) {
+	snap := d.SnapshotEvery
+	if snap <= 0 {
+		snap = DefaultSnapshotEvery
+	}
+	for _, as := range in.ASes() {
+		as.Acct.SetDissemination(d.Mode, snap)
+	}
+	in.StartAccountability(d.Interval)
+}
+
 // StartAccountability starts periodic revocation-digest dissemination:
 // every interval of virtual time, each AS's accountability engine
-// floods a signed, cumulative digest of its live revocations to every
-// peer agent, and each receiver installs the entries into its border
-// routers' remote revocation lists. Calling it again replaces the
-// previous timer. A non-positive interval selects
+// flushes a signed digest of its live revocations — a delta of the
+// changes since the previous flush, or periodically a full snapshot —
+// and each receiver installs the entries into its border routers'
+// remote revocation lists. Calling it again replaces the previous
+// timer; engine mode and snapshot cadence are left as configured (see
+// ConfigureDissemination). A non-positive interval selects
 // DefaultDigestInterval. Complaints and receipts work without it —
 // only cross-internet dissemination to uninvolved ASes needs the
 // timer.

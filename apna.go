@@ -301,6 +301,16 @@ func (in *Internet) Build() error {
 			}
 		}
 	}
+	// Physically linked ASes are also relay-overlay neighbors, so digest
+	// dissemination in relay mode follows the same provider/customer
+	// edges packets do.
+	for aid, nbrs := range in.adjacency {
+		a := in.ases[aid]
+		for _, nb := range nbrs {
+			_, _, aaEp := in.ases[nb].ServiceEndpoints()
+			a.Acct.RegisterNeighbor(nb, aaEp.EphID)
+		}
+	}
 	in.built = true
 	return nil
 }

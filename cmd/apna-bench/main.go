@@ -4,9 +4,10 @@
 // connection-establishment latency analysis, the concurrent multi-flow
 // scenario (E6), the adversarial conformance sweep (E7), the multi-AS
 // parallel-engine saturation run (E8), the lifecycle endurance sweep
-// (E9), the inter-domain accountability sweep (E10), and the
-// million-host population ramp (E11); each table prints the paper's
-// numbers next to the measured ones.
+// (E9), the inter-domain accountability sweep (E10), the
+// million-host population ramp (E11), and the thousand-AS digest
+// dissemination sweep (E12); each table prints the paper's numbers
+// next to the measured ones.
 //
 // The -seed flag drives every seeded experiment (E2 trace, E6
 // scenario, E7/E9/E10 sweep bases, E8 traffic mix, E11 population
@@ -16,9 +17,11 @@
 // (E8), lifecycle gate (E9), inter-domain gate (E10) or population
 // gate (E11) is violated.
 //
-// The trend-gated suites (E8, E11) additionally take -reruns N and
-// -out PREFIX to emit PREFIX_run1.json..PREFIX_runN.json — the rerun
-// sets cmd/apna-gate compares against the provenance-pinned baseline.
+// The trend-gated suites (E8, E9, E10, E11, E12) additionally take
+// -reruns N and -out PREFIX to emit PREFIX_run1.json..PREFIX_runN.json
+// — the rerun sets cmd/apna-gate compares against the
+// provenance-pinned baseline. E9, E10 and E12 are deterministic, so
+// -reruns 1 suffices for them.
 //
 // Usage:
 //
@@ -33,6 +36,7 @@
 //	apna-bench -exp e10 -seed 1 -seeds 3 -json > BENCH_e10.json
 //	apna-bench -exp e11 -json > BENCH_e11.json     # 10^3→10^6 ramp
 //	apna-bench -exp e11 -e11-full -json            # extend to 10^7
+//	apna-bench -exp e12 -json > BENCH_e12.json     # 1000-AS dissemination
 package main
 
 import (
@@ -48,7 +52,7 @@ import (
 
 func main() {
 	var (
-		exp         = flag.String("exp", "all", "experiment: e1, e2, e3 (includes e4), e5, e6, e7, e8, e9, e10, e11, all")
+		exp         = flag.String("exp", "all", "experiment: e1, e2, e3 (includes e4), e5, e6, e7, e8, e9, e10, e11, e12, all")
 		requests    = flag.Int("requests", 500_000, "E1: number of EphID requests")
 		workers     = flag.Int("workers", 4, "E1: parallel issuance workers (paper: 4)")
 		fwdHosts    = flag.Int("hosts", 256, "E3/E8: simulated source hosts (per AS for E8)")
@@ -70,8 +74,10 @@ func main() {
 		e11Ticks    = flag.Int("pop-ticks", experiments.DefaultE11().Ticks, "E11: virtual ticks per population tier")
 		e11Bound    = flag.Float64("p99-bound", experiments.DefaultE11().P99BoundMs, "E11: issuance p99 gate in milliseconds")
 		e11Full     = flag.Bool("e11-full", false, "E11: extend the ramp to 10^7 modeled hosts")
-		reruns      = flag.Int("reruns", 1, "E8/E11: repeat the run N times for the trend gate (requires -out for N > 1)")
-		outPrefix   = flag.String("out", "", "E8/E11: write each rerun's artifact to PREFIX_runN.json instead of stdout (implies -json)")
+		e12Stubs    = flag.Int("dissem-stubs", experiments.DefaultE12().Stubs, "E12: stub ASes in the relay graph (total = core + mid + stubs)")
+		e12Ticks    = flag.Int("dissem-ticks", experiments.DefaultE12().Ticks, "E12: measured digest intervals in the relay phase")
+		reruns      = flag.Int("reruns", 1, "E8/E9/E10/E11/E12: repeat the run N times for the trend gate (requires -out for N > 1)")
+		outPrefix   = flag.String("out", "", "E8/E9/E10/E11/E12: write each rerun's artifact to PREFIX_runN.json instead of stdout (implies -json)")
 	)
 	flag.Parse()
 	if *reruns < 1 {
@@ -229,20 +235,24 @@ func main() {
 		cfg.Windows = *e9Windows
 		cfg.EphIDLifetime = uint32(*e9Life)
 		cfg.Seeds = experiments.SeedSweep(*seed, *seeds)
-		fmt.Fprintf(os.Stderr, "lifecycle endurance: %d seeds, %d windows x %ds EphIDs...\n",
-			len(cfg.Seeds), cfg.Windows, cfg.EphIDLifetime)
-		res, err := experiments.RunE9(cfg)
-		if err != nil {
-			fatal(err)
-		}
-		if *jsonOut {
-			// The summary goes to stderr so stdout stays a clean
-			// JSON-lines artifact (BENCH_e9.json).
-			res.Fprint(os.Stderr)
-		}
-		ok, err := res.Report(os.Stdout, *jsonOut)
-		if err != nil {
-			fatal(err)
+		ok := true
+		for i := 1; i <= *reruns; i++ {
+			fmt.Fprintf(os.Stderr, "lifecycle endurance (run %d/%d): %d seeds, %d windows x %ds EphIDs...\n",
+				i, *reruns, len(cfg.Seeds), cfg.Windows, cfg.EphIDLifetime)
+			res, err := experiments.RunE9(cfg)
+			if err != nil {
+				fatal(err)
+			}
+			if *jsonOut || *outPrefix != "" {
+				// The summary goes to stderr so the artifact stream
+				// stays a clean JSON-lines artifact (BENCH_e9.json).
+				res.Fprint(os.Stderr)
+			}
+			writeArtifact(i, func(w *os.File) error {
+				runOK, err := res.Report(w, *jsonOut || *outPrefix != "")
+				ok = ok && runOK
+				return err
+			})
 		}
 		fmt.Println()
 		if !ok {
@@ -257,20 +267,24 @@ func main() {
 		cfg.DigestInterval = *e10Digest
 		cfg.Attackers = *adversaries
 		cfg.Seeds = experiments.SeedSweep(*seed, *seeds)
-		fmt.Fprintf(os.Stderr, "inter-domain accountability: %d seeds, %d-AS mesh, %v digests...\n",
-			len(cfg.Seeds), cfg.ASes, cfg.DigestInterval)
-		res, err := experiments.RunE10(cfg)
-		if err != nil {
-			fatal(err)
-		}
-		if *jsonOut {
-			// The summary goes to stderr so stdout stays a clean
-			// JSON-lines artifact (BENCH_e10.json).
-			res.Fprint(os.Stderr)
-		}
-		ok, err := res.Report(os.Stdout, *jsonOut)
-		if err != nil {
-			fatal(err)
+		ok := true
+		for i := 1; i <= *reruns; i++ {
+			fmt.Fprintf(os.Stderr, "inter-domain accountability (run %d/%d): %d seeds, %d-AS mesh, %v digests...\n",
+				i, *reruns, len(cfg.Seeds), cfg.ASes, cfg.DigestInterval)
+			res, err := experiments.RunE10(cfg)
+			if err != nil {
+				fatal(err)
+			}
+			if *jsonOut || *outPrefix != "" {
+				// The summary goes to stderr so the artifact stream
+				// stays a clean JSON-lines artifact (BENCH_e10.json).
+				res.Fprint(os.Stderr)
+			}
+			writeArtifact(i, func(w *os.File) error {
+				runOK, err := res.Report(w, *jsonOut || *outPrefix != "")
+				ok = ok && runOK
+				return err
+			})
 		}
 		fmt.Println()
 		if !ok {
@@ -310,6 +324,37 @@ func main() {
 		fmt.Println()
 		if !ok {
 			fmt.Fprintln(os.Stderr, "apna-bench: E11 population gate failures")
+			os.Exit(2)
+		}
+	}
+
+	if run("e12") {
+		cfg := experiments.DefaultE12()
+		cfg.Seed = *seed
+		cfg.Stubs = *e12Stubs
+		cfg.Ticks = *e12Ticks
+		ok := true
+		for i := 1; i <= *reruns; i++ {
+			fmt.Fprintf(os.Stderr, "digest dissemination (run %d/%d): %d ASes relay vs %d-AS mesh reference...\n",
+				i, *reruns, cfg.Core+cfg.Mid+cfg.Stubs, cfg.MeshASes)
+			res, err := experiments.RunE12(cfg)
+			if err != nil {
+				fatal(err)
+			}
+			if *jsonOut || *outPrefix != "" {
+				// The summary goes to stderr so the artifact stream
+				// stays a clean single JSON object (BENCH_e12.json).
+				res.Fprint(os.Stderr)
+			}
+			writeArtifact(i, func(w *os.File) error {
+				runOK, err := res.Report(w, *jsonOut || *outPrefix != "")
+				ok = ok && runOK
+				return err
+			})
+		}
+		fmt.Println()
+		if !ok {
+			fmt.Fprintln(os.Stderr, "apna-bench: E12 dissemination gate failures")
 			os.Exit(2)
 		}
 	}

@@ -27,15 +27,27 @@
 //     idempotent: a replayed request is answered from a receipt cache,
 //     and a second complaint about an already-revoked EphID is a
 //     no-op receipt with no additional strike.
-//  4. Each engine periodically floods a signed, *cumulative* Digest of
-//     its live revocations to every peer agent. Receivers install the
-//     entries into their border routers' remote revocation lists
-//     (sharded, copy-on-write, lock-free — the same structure as the
-//     local list), so border ingress drops frames bearing
+//  4. Each engine periodically disseminates signed Digests of its
+//     revocation state. Steady-state flushes are *deltas* — only the
+//     entries added or removed since the previous flush, seq-chained to
+//     it — with a periodic full-*snapshot* anti-entropy round (every
+//     SnapshotEvery-th flush, and always the first) that repairs any
+//     loss or reordering; a receiver that detects a seq gap marks the
+//     origin for repair and may unicast a MsgSnapshotRequest. Receivers
+//     install entries into their border routers' remote revocation
+//     lists (sharded, copy-on-write, lock-free — the same structure as
+//     the local list), so border ingress drops frames bearing
 //     remotely-revoked source EphIDs without any per-packet cross-AS
-//     query. Cumulative digests make dissemination loss- and
-//     reorder-tolerant under chaotic links: any single digest carries
-//     the whole live set.
+//     query. Dissemination runs in one of two modes: ModeMesh floods
+//     every digest directly to every registered peer (the paper-literal
+//     O(N²) conformance reference), while ModeRelay forwards
+//     origin-signed digests along the provider/customer overlay only,
+//     batching everything learned since the last tick into a single
+//     MsgDigestBatch per neighbor — O(N·degree) messages per interval
+//     with dissemination latency bounded by overlay depth × interval.
+//     Relays forward but cannot forge: origin signature verification is
+//     unchanged, and duplicates are suppressed by (origin, seq) before
+//     the signature check ever runs.
 //
 // The privacy half of the paper's trade-off is preserved end to end:
 // complaints, requests, receipts and digests name only EphIDs — the
@@ -103,6 +115,50 @@ type TrustStore interface {
 	SigKey(aid ephid.AID, nowUnix int64) ([]byte, error)
 }
 
+// RemoteSink receives remotely-revoked EphIDs as digests install them.
+// border.Router satisfies it; large-scale harnesses install lightweight
+// sinks instead of full border routers.
+type RemoteSink interface {
+	ApplyRemote(id ephid.EphID, origin ephid.AID, expTime uint32)
+}
+
+// Mode selects the dissemination strategy.
+type Mode uint8
+
+const (
+	// ModeMesh floods every digest directly to every registered peer —
+	// O(N²) messages per interval internet-wide. It is the default and
+	// the deterministic conformance reference.
+	ModeMesh Mode = iota
+	// ModeRelay forwards origin-signed digests along the registered
+	// overlay neighbors only, batching everything learned since the
+	// last flush into one MsgDigestBatch per neighbor — O(N·degree)
+	// messages per interval, dissemination latency bounded by overlay
+	// depth × interval.
+	ModeRelay
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	if m == ModeRelay {
+		return "relay"
+	}
+	return "mesh"
+}
+
+// DefaultSnapshotEvery is the anti-entropy cadence when
+// SetDissemination is given a non-positive one: every k-th flush tick
+// carries the full announced set instead of a delta.
+const DefaultSnapshotEvery = 8
+
+// Rate limits for the unicast snapshot-repair path, in Unix seconds:
+// how often an engine asks any one origin for a snapshot, and how often
+// it serves any one requester.
+const (
+	snapshotRequestSpacing = 5
+	snapshotServeSpacing   = 2
+)
+
 // Stats counts engine activity, in the spirit of border.Stats.
 type Stats struct {
 	// Victim side.
@@ -112,9 +168,16 @@ type Stats struct {
 	// Source side.
 	RequestsReceived, RequestsDuplicate, RequestsInvalid uint64
 	Revocations, NoOpReceipts, Rejections                uint64
-	// Dissemination.
+	// Dissemination. DigestsSent counts own-digest flushes (snapshots +
+	// deltas); MessagesSent and DigestBytesSent count every successful
+	// digest-plane transmission (floods, relay batches, snapshot
+	// repair), which is what the fan-out bound gates on.
 	DigestsSent, DigestsReceived, DigestsInvalid, DigestsStale uint64
-	EntriesInstalled, EntriesSkippedExpired                    uint64
+	SnapshotsSent, DeltasSent, FlushesSkippedNoChange          uint64
+	DigestsRelayed, RelayBatchesSent                           uint64
+	SeqGaps, SnapshotRequestsSent, SnapshotRequestsServed      uint64
+	SendFailures, MessagesSent, DigestBytesSent                uint64
+	EntriesInstalled, EntriesSkippedExpired, RemovalsAnnounced uint64
 }
 
 // Event is one engine action, surfaced to observers (scenario referees
@@ -133,8 +196,12 @@ type Event struct {
 	// events.
 	Status Status
 	// Entries counts digest entries for "digest-flush" and
-	// "digest-install" events.
+	// "digest-install" events (adds + removals for a delta flush).
 	Entries int
+	// SendFailures counts transport errors while flooding a
+	// "digest-flush" — previously discarded silently, now surfaced so
+	// referees can tell a quiet interval from a broken transport.
+	SendFailures int
 }
 
 // pendingReq is one in-flight cross-AS shutoff request on the victim
@@ -164,35 +231,78 @@ type Engine struct {
 
 	mu      sync.Mutex
 	routers []*border.Router
-	send    func(dst wire.Endpoint, payload []byte) error
-	peers   map[ephid.AID]ephid.EphID
+	// sinks are the install targets for remote revocations. Border
+	// routers land here too (AddRouter); AddRemoteSink adds lightweight
+	// targets without the full router machinery.
+	sinks []RemoteSink
+	send  func(dst wire.Endpoint, payload []byte) error
+	peers map[ephid.AID]ephid.EphID
+	// neighbors is the relay overlay: the subset of peers this engine
+	// forwards digests to in ModeRelay.
+	neighbors     map[ephid.AID]ephid.EphID
+	mode          Mode
+	snapshotEvery int
 	// announced is the cumulative set of this AS's live revocations —
 	// the digest contents. NoteRevoked feeds it (wired to the local
 	// agent's revocation hook); FlushDigest prunes expired entries.
 	announced map[ephid.EphID]uint32
+	// lastFlushed is the announced set exactly as of seq flushSeq: the
+	// delta base for the next flush, and what a unicast snapshot serves
+	// (reusing seq flushSeq, so repair never burns a seq and desyncs
+	// every other receiver's delta chain).
+	lastFlushed map[ephid.EphID]uint32
 	// pending maps request hashes to in-flight cross-AS requests.
 	pending map[[32]byte]pendingReq
 	// receipts is the source-side idempotency cache: request hash to
 	// the signed receipt already issued. A replayed request is answered
 	// from here without touching the agent (no double strike).
 	receipts map[[32]byte]*Receipt
-	// peerSeq is the highest digest seq accepted per origin.
-	peerSeq  map[ephid.AID]uint64
+	// peerSeq is the highest digest seq applied per origin; relayHW the
+	// highest seq queued for relay forwarding (which can run ahead of
+	// applied across a gap).
+	peerSeq map[ephid.AID]uint64
+	relayHW map[ephid.AID]uint64
+	// needSnap marks origins whose delta chain broke; snapReqAt and
+	// servedAt rate-limit the unicast snapshot-repair path.
+	needSnap  map[ephid.AID]bool
+	snapReqAt map[ephid.AID]int64
+	servedAt  map[ephid.AID]int64
+	// outbox holds verified foreign digests accepted since the last
+	// flush, awaiting relay to overlay neighbors.
+	outbox   []relayItem
 	reqSeq   uint64
 	flushSeq uint64
+	// tick counts FlushDigest calls (including skipped ones), driving
+	// the anti-entropy cadence even across idle stretches.
+	tick     uint64
 	stats    Stats
 	observer func(Event)
+}
+
+// relayItem is one foreign origin-signed digest awaiting relay: the raw
+// encoding (forwarded verbatim — relays cannot re-sign) and the peer it
+// was learned from, which is excluded from the forward fan-out.
+type relayItem struct {
+	origin ephid.AID
+	from   ephid.AID
+	raw    []byte
 }
 
 // New creates an engine.
 func New(cfg Config) *Engine {
 	return &Engine{
-		cfg:       cfg,
-		peers:     make(map[ephid.AID]ephid.EphID),
-		announced: make(map[ephid.EphID]uint32),
-		pending:   make(map[[32]byte]pendingReq),
-		receipts:  make(map[[32]byte]*Receipt),
-		peerSeq:   make(map[ephid.AID]uint64),
+		cfg:         cfg,
+		peers:       make(map[ephid.AID]ephid.EphID),
+		neighbors:   make(map[ephid.AID]ephid.EphID),
+		announced:   make(map[ephid.EphID]uint32),
+		lastFlushed: make(map[ephid.EphID]uint32),
+		pending:     make(map[[32]byte]pendingReq),
+		receipts:    make(map[[32]byte]*Receipt),
+		peerSeq:     make(map[ephid.AID]uint64),
+		relayHW:     make(map[ephid.AID]uint64),
+		needSnap:    make(map[ephid.AID]bool),
+		snapReqAt:   make(map[ephid.AID]int64),
+		servedAt:    make(map[ephid.AID]int64),
 	}
 }
 
@@ -202,6 +312,33 @@ func (e *Engine) AddRouter(r *border.Router) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.routers = append(e.routers, r)
+	e.sinks = append(e.sinks, r)
+}
+
+// AddRemoteSink registers an additional install target for remote
+// revocations, without the router's local-revocation oracle role.
+func (e *Engine) AddRemoteSink(s RemoteSink) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.sinks = append(e.sinks, s)
+}
+
+// SetDissemination selects the dissemination mode and the anti-entropy
+// cadence (every snapshotEvery-th flush tick is a full snapshot; non-
+// positive selects DefaultSnapshotEvery). Call before the digest timer
+// starts.
+func (e *Engine) SetDissemination(mode Mode, snapshotEvery int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.mode = mode
+	e.snapshotEvery = snapshotEvery
+}
+
+// Mode returns the engine's dissemination mode.
+func (e *Engine) Mode() Mode {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.mode
 }
 
 // SetSend installs the transport: fn must deliver payload to the
@@ -212,13 +349,27 @@ func (e *Engine) SetSend(fn func(dst wire.Endpoint, payload []byte) error) {
 	e.send = fn
 }
 
-// RegisterPeer records a peer AS's agent endpoint for digest flooding.
+// RegisterPeer records a peer AS's agent endpoint for digest flooding
+// (and for unicast snapshot repair).
 func (e *Engine) RegisterPeer(aid ephid.AID, agentEphID ephid.EphID) {
 	if aid == e.cfg.AID {
 		return
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	e.peers[aid] = agentEphID
+}
+
+// RegisterNeighbor records an overlay neighbor for ModeRelay
+// forwarding. Neighbors are peers too, so snapshot repair and mesh
+// flooding keep working whatever the mode.
+func (e *Engine) RegisterNeighbor(aid ephid.AID, agentEphID ephid.EphID) {
+	if aid == e.cfg.AID {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.neighbors[aid] = agentEphID
 	e.peers[aid] = agentEphID
 }
 
@@ -573,12 +724,12 @@ func (e *Engine) HandleReceipt(raw []byte) error {
 	} else {
 		e.stats.ReceiptsUnmatched++
 	}
-	routers := e.routers
+	sinks := e.sinks
 	e.mu.Unlock()
 
 	if ok && r.Status.Stopped() && r.Status != StatusExpiredNoOp {
-		for _, rt := range routers {
-			rt.ApplyRemote(r.SrcEphID, r.Issuer, r.ExpTime)
+		for _, s := range sinks {
+			s.ApplyRemote(r.SrcEphID, r.Issuer, r.ExpTime)
 		}
 	}
 	e.emit(Event{Kind: "receipt", Peer: r.Issuer, EphID: r.SrcEphID, Status: r.Status})
@@ -588,73 +739,192 @@ func (e *Engine) HandleReceipt(raw []byte) error {
 	return nil
 }
 
-// FlushDigest builds the cumulative digest of this AS's live
-// revocations, signs it, and floods it to every registered peer agent.
-// It returns the number of entries flooded (0 when there was nothing
-// live to announce, in which case nothing is sent). The facade drives
-// it from a recurring virtual-time timer (netsim.Simulator.Every).
+// sortDigest puts entries and removals in deterministic wire order
+// (maps iterate randomly).
+func sortDigest(d *Digest) {
+	sort.Slice(d.Entries, func(i, j int) bool {
+		return bytes.Compare(d.Entries[i].EphID[:], d.Entries[j].EphID[:]) < 0
+	})
+	sort.Slice(d.Removed, func(i, j int) bool {
+		return bytes.Compare(d.Removed[i][:], d.Removed[j][:]) < 0
+	})
+}
+
+// FlushDigest runs one dissemination tick: build this AS's digest —
+// a delta of the changes since the last flush, or a full snapshot on
+// the anti-entropy cadence — sign it, and send it out (flooded to every
+// peer in ModeMesh; bundled with the relay outbox into one
+// MsgDigestBatch per overlay neighbor in ModeRelay). When nothing
+// changed and no snapshot is due, the flush is skipped entirely: no
+// sort, no signature, no messages (FlushesSkippedNoChange counts it) —
+// though a relay still drains its outbox. It returns the number of
+// entries announced in this AS's own digest (adds + removals for a
+// delta; 0 when skipped). The facade drives it from a recurring
+// virtual-time timer (netsim.Simulator.Every).
 func (e *Engine) FlushDigest() int {
 	now := e.cfg.Now()
 	e.mu.Lock()
+	e.tick++
 	// Ride the dissemination cadence for housekeeping: stale pending
 	// requests and over-retained receipt-cache entries go first, then
 	// expired revocations — the expiry check drops their frames
 	// everywhere, so announcing them buys nothing (the digest-side
-	// mirror of RevocationList.GC).
+	// mirror of RevocationList.GC). Expiry pruning is what feeds the
+	// delta's Removed list.
 	e.prune(now)
 	for id, exp := range e.announced {
 		if int64(exp) < now {
 			delete(e.announced, id)
 		}
 	}
-	if len(e.announced) == 0 {
-		e.mu.Unlock()
-		return 0
+	snapEvery := e.snapshotEvery
+	if snapEvery <= 0 {
+		snapEvery = DefaultSnapshotEvery
 	}
-	e.flushSeq++
-	d := &Digest{Origin: e.cfg.AID, Seq: e.flushSeq, IssuedAt: now,
-		Entries: make([]DigestEntry, 0, len(e.announced))}
+	var added []DigestEntry
+	var removed []ephid.EphID
 	for id, exp := range e.announced {
-		d.Entries = append(d.Entries, DigestEntry{EphID: id, ExpTime: exp})
+		if old, ok := e.lastFlushed[id]; !ok || old != exp {
+			added = append(added, DigestEntry{EphID: id, ExpTime: exp})
+		}
 	}
+	for id := range e.lastFlushed {
+		if _, ok := e.announced[id]; !ok {
+			removed = append(removed, id)
+		}
+	}
+	changed := len(added)+len(removed) > 0
+	// The first flush is always a snapshot (receivers need a base for
+	// the delta chain); after that the cadence runs on the tick counter
+	// rather than the seq, so skipped idle flushes still advance toward
+	// the next anti-entropy round.
+	snapshotDue := e.flushSeq == 0 || e.tick%uint64(snapEvery) == 0
+	haveState := e.flushSeq > 0 || len(e.announced) > 0
+	flushOwn := haveState && (changed || snapshotDue)
+	var d *Digest
+	entries := 0
+	if flushOwn {
+		e.flushSeq++
+		d = &Digest{Origin: e.cfg.AID, Seq: e.flushSeq, IssuedAt: now}
+		if snapshotDue {
+			d.Kind = DigestSnapshot
+			d.Entries = make([]DigestEntry, 0, len(e.announced))
+			for id, exp := range e.announced {
+				d.Entries = append(d.Entries, DigestEntry{EphID: id, ExpTime: exp})
+			}
+			e.stats.SnapshotsSent++
+		} else {
+			d.Kind = DigestDelta
+			d.Entries = added
+			d.Removed = removed
+			e.stats.DeltasSent++
+		}
+		entries = len(d.Entries) + len(d.Removed)
+		e.lastFlushed = make(map[ephid.EphID]uint32, len(e.announced))
+		for id, exp := range e.announced {
+			e.lastFlushed[id] = exp
+		}
+		e.stats.DigestsSent++
+		e.stats.RemovalsAnnounced += uint64(len(d.Removed))
+	} else if haveState {
+		e.stats.FlushesSkippedNoChange++
+	}
+	mode := e.mode
+	outbox := e.outbox
+	e.outbox = nil
 	type peerDst struct {
 		aid ephid.AID
 		ep  ephid.EphID
 	}
-	peers := make([]peerDst, 0, len(e.peers))
-	for aid, ep := range e.peers {
-		peers = append(peers, peerDst{aid, ep})
+	src := e.peers
+	if mode == ModeRelay {
+		src = e.neighbors
 	}
-	e.stats.DigestsSent++
+	dsts := make([]peerDst, 0, len(src))
+	for aid, ep := range src {
+		dsts = append(dsts, peerDst{aid, ep})
+	}
 	e.mu.Unlock()
 
-	// Deterministic wire form and send order (maps iterate randomly).
-	sort.Slice(d.Entries, func(i, j int) bool {
-		return bytes.Compare(d.Entries[i].EphID[:], d.Entries[j].EphID[:]) < 0
-	})
-	sort.Slice(peers, func(i, j int) bool { return peers[i].aid < peers[j].aid })
-	d.Sign(e.cfg.Signer)
-	payload := append([]byte{MsgDigest}, d.Encode()...)
-	for _, p := range peers {
-		_ = e.sendTo(wire.Endpoint{AID: p.aid, EphID: p.ep}, payload)
+	if d == nil && len(outbox) == 0 {
+		return 0
 	}
-	e.emit(Event{Kind: "digest-flush", Entries: len(d.Entries)})
-	return len(d.Entries)
+	sort.Slice(dsts, func(i, j int) bool { return dsts[i].aid < dsts[j].aid })
+	var ownRaw []byte
+	if d != nil {
+		sortDigest(d)
+		d.Sign(e.cfg.Signer)
+		ownRaw = d.Encode()
+	}
+	var msgs, batches, bytesSent, failures uint64
+	if mode == ModeRelay {
+		for _, p := range dsts {
+			raws := make([][]byte, 0, len(outbox)+1)
+			if ownRaw != nil {
+				raws = append(raws, ownRaw)
+			}
+			for _, it := range outbox {
+				// Never hand an origin its own digest back, and never
+				// echo a digest to the peer it was learned from — the
+				// two rules that keep a cycle-free steady state on any
+				// overlay shape.
+				if it.origin == p.aid || it.from == p.aid {
+					continue
+				}
+				raws = append(raws, it.raw)
+			}
+			if len(raws) == 0 {
+				continue
+			}
+			payload := append([]byte{MsgDigestBatch}, EncodeDigestBatch(raws)...)
+			if err := e.sendTo(wire.Endpoint{AID: p.aid, EphID: p.ep}, payload); err != nil {
+				failures++
+				continue
+			}
+			msgs++
+			batches++
+			bytesSent += uint64(len(payload))
+		}
+	} else if ownRaw != nil {
+		payload := append([]byte{MsgDigest}, ownRaw...)
+		for _, p := range dsts {
+			if err := e.sendTo(wire.Endpoint{AID: p.aid, EphID: p.ep}, payload); err != nil {
+				failures++
+				continue
+			}
+			msgs++
+			bytesSent += uint64(len(payload))
+		}
+	}
+	e.mu.Lock()
+	e.stats.MessagesSent += msgs
+	e.stats.RelayBatchesSent += batches
+	e.stats.DigestBytesSent += bytesSent
+	e.stats.SendFailures += failures
+	e.mu.Unlock()
+	if d != nil {
+		e.emit(Event{Kind: "digest-flush", Entries: entries, SendFailures: int(failures)})
+	}
+	return entries
 }
 
-// HandleDigest verifies and installs a peer's revocation digest.
-// Replayed or out-of-date digests (seq at or below the newest accepted
-// from that origin) are dropped: digests are cumulative, so the newest
-// one subsumes anything older. Entries already expired are skipped —
-// the case of a digest arriving after the local GC retention has
-// passed: expiry already stops those frames, and installing them would
-// only grow the list until the next GC.
-func (e *Engine) HandleDigest(raw []byte) error {
+// HandleDigest verifies a digest received from peer `from` and applies
+// it: a snapshot installs on top of any older state; a delta installs
+// only when it extends the applied chain by exactly one (seq =
+// applied+1). A delta past a gap is not installed — the receiver marks
+// the origin for repair, counts the gap, and asks the origin for a
+// snapshot (rate-limited; the periodic anti-entropy snapshot repairs it
+// regardless). Replays and already-known seqs are dropped before the
+// signature check: suppression by (origin, seq) high-water marks is
+// safe because those marks only ever advanced on verified digests, and
+// it is what makes relay fan-in affordable. In ModeRelay every *new*
+// verified (origin, seq) is queued for forwarding at the next flush
+// tick, whether or not it was installable locally. Entries already
+// expired are skipped — expiry already stops those frames, and
+// installing them would only grow the list until the next GC.
+func (e *Engine) HandleDigest(from ephid.AID, raw []byte) error {
 	now := e.cfg.Now()
 	d, err := DecodeDigest(raw)
-	if err == nil {
-		err = d.Verify(e.cfg.Trust, now)
-	}
 	if err != nil {
 		e.mu.Lock()
 		e.stats.DigestsInvalid++
@@ -662,14 +932,51 @@ func (e *Engine) HandleDigest(raw []byte) error {
 		return err
 	}
 	e.mu.Lock()
-	if d.Origin == e.cfg.AID || d.Seq <= e.peerSeq[d.Origin] {
+	if d.Origin == e.cfg.AID {
 		e.stats.DigestsStale++
 		e.mu.Unlock()
 		return nil
 	}
+	if d.Seq <= e.peerSeq[d.Origin] && (e.mode != ModeRelay || d.Seq <= e.relayHW[d.Origin]) {
+		e.stats.DigestsStale++
+		e.mu.Unlock()
+		return nil
+	}
+	e.mu.Unlock()
+
+	if err := d.Verify(e.cfg.Trust, now); err != nil {
+		e.mu.Lock()
+		e.stats.DigestsInvalid++
+		e.mu.Unlock()
+		return err
+	}
+
+	e.mu.Lock()
+	if e.mode == ModeRelay && d.Seq > e.relayHW[d.Origin] {
+		e.relayHW[d.Origin] = d.Seq
+		e.outbox = append(e.outbox, relayItem{
+			origin: d.Origin, from: from, raw: append([]byte(nil), raw...)})
+		e.stats.DigestsRelayed++
+	}
+	applied := e.peerSeq[d.Origin]
+	switch {
+	case d.Seq <= applied:
+		e.stats.DigestsStale++
+		e.mu.Unlock()
+		return nil
+	case d.Kind == DigestDelta && d.Seq != applied+1:
+		// Chain broken: seqs applied+1 .. d.Seq-1 are missing. Deltas
+		// are not buffered — the snapshot path repairs wholesale.
+		e.stats.SeqGaps++
+		e.needSnap[d.Origin] = true
+		e.mu.Unlock()
+		e.maybeRequestSnapshot(d.Origin, now)
+		return nil
+	}
 	e.peerSeq[d.Origin] = d.Seq
+	delete(e.needSnap, d.Origin)
 	e.stats.DigestsReceived++
-	routers := e.routers
+	sinks := e.sinks
 	e.mu.Unlock()
 
 	installed := 0
@@ -680,16 +987,95 @@ func (e *Engine) HandleDigest(raw []byte) error {
 			e.mu.Unlock()
 			continue
 		}
-		for _, rt := range routers {
-			rt.ApplyRemote(en.EphID, d.Origin, en.ExpTime)
+		for _, s := range sinks {
+			s.ApplyRemote(en.EphID, d.Origin, en.ExpTime)
 		}
 		installed++
 	}
+	// d.Removed needs no action: remote revocation lists reap expired
+	// entries with their own GC, which is the only way entries leave
+	// the origin's announced set in the first place.
 	e.mu.Lock()
 	e.stats.EntriesInstalled += uint64(installed)
 	e.mu.Unlock()
 	e.emit(Event{Kind: "digest-install", Peer: d.Origin, Entries: installed})
 	return nil
+}
+
+// handleDigestBatch unpacks a relay batch and runs every element
+// through the ordinary digest path — verification included, so a relay
+// can drop, delay or duplicate digests but never alter or forge one.
+func (e *Engine) handleDigestBatch(from ephid.AID, body []byte) error {
+	raws, err := DecodeDigestBatch(body)
+	if err != nil {
+		e.mu.Lock()
+		e.stats.DigestsInvalid++
+		e.mu.Unlock()
+		return err
+	}
+	for _, raw := range raws {
+		_ = e.HandleDigest(from, raw) // per-element errors are counted inside
+	}
+	return nil
+}
+
+// maybeRequestSnapshot unicasts a MsgSnapshotRequest to origin if its
+// agent endpoint is known and the per-origin rate limit allows.
+func (e *Engine) maybeRequestSnapshot(origin ephid.AID, now int64) {
+	e.mu.Lock()
+	ep, known := e.peers[origin]
+	if !known || now < e.snapReqAt[origin]+snapshotRequestSpacing {
+		e.mu.Unlock()
+		return
+	}
+	e.snapReqAt[origin] = now
+	e.stats.SnapshotRequestsSent++
+	e.mu.Unlock()
+	payload := append([]byte{MsgSnapshotRequest}, EncodeSnapshotRequest(origin)...)
+	if err := e.sendTo(wire.Endpoint{AID: origin, EphID: ep}, payload); err != nil {
+		e.mu.Lock()
+		e.stats.SendFailures++
+		e.mu.Unlock()
+	}
+}
+
+// handleSnapshotRequest serves a unicast snapshot to a peer whose delta
+// chain from us broke. The snapshot reuses seq flushSeq over the
+// lastFlushed set — the state every receiver at flushSeq already has —
+// so serving one never advances the seq and cannot open gaps at other
+// receivers. Rate-limited per requester.
+func (e *Engine) handleSnapshotRequest(src wire.Endpoint, body []byte) {
+	origin, err := DecodeSnapshotRequest(body)
+	if err != nil || origin != e.cfg.AID {
+		return
+	}
+	now := e.cfg.Now()
+	e.mu.Lock()
+	if e.flushSeq == 0 || now < e.servedAt[src.AID]+snapshotServeSpacing {
+		e.mu.Unlock()
+		return
+	}
+	e.servedAt[src.AID] = now
+	d := &Digest{Origin: e.cfg.AID, Seq: e.flushSeq, IssuedAt: now, Kind: DigestSnapshot,
+		Entries: make([]DigestEntry, 0, len(e.lastFlushed))}
+	for id, exp := range e.lastFlushed {
+		d.Entries = append(d.Entries, DigestEntry{EphID: id, ExpTime: exp})
+	}
+	e.stats.SnapshotRequestsServed++
+	e.mu.Unlock()
+	sortDigest(d)
+	d.Sign(e.cfg.Signer)
+	payload := append([]byte{MsgDigest}, d.Encode()...)
+	if err := e.sendTo(src, payload); err != nil {
+		e.mu.Lock()
+		e.stats.SendFailures++
+		e.mu.Unlock()
+		return
+	}
+	e.mu.Lock()
+	e.stats.MessagesSent++
+	e.stats.DigestBytesSent += uint64(len(payload))
+	e.mu.Unlock()
 }
 
 // HandleMessage is the ProtoAcct demux the facade mounts on the agent's
@@ -751,6 +1137,10 @@ func (e *Engine) HandleMessage(src wire.Endpoint, payload []byte) {
 	case MsgReceipt:
 		_ = e.HandleReceipt(body)
 	case MsgDigest:
-		_ = e.HandleDigest(body)
+		_ = e.HandleDigest(src.AID, body)
+	case MsgDigestBatch:
+		_ = e.handleDigestBatch(src.AID, body)
+	case MsgSnapshotRequest:
+		e.handleSnapshotRequest(src, body)
 	}
 }

@@ -465,10 +465,21 @@ func TestDigestFloodInstallsAtThirdAS(t *testing.T) {
 	if w.ases[aidA].router.RemoteRevoked().Contains(offender.ephID) {
 		t.Fatal("source AS installed its own revocation remotely")
 	}
-	// A second flush re-floods the cumulative set (loss recovery);
-	// installing again is a no-op, and stale seqs are dropped.
+	// With zero churn since the first flush and the anti-entropy round
+	// not yet due, a second flush is skipped outright: no signing, no
+	// messages.
+	if n := w.ases[aidA].engine.FlushDigest(); n != 0 {
+		t.Fatalf("unchanged re-flush announced %d entries, want 0 (skip)", n)
+	}
+	if st := w.ases[aidA].engine.Stats(); st.FlushesSkippedNoChange != 1 || st.DigestsSent != 1 {
+		t.Fatalf("stats %+v, want 1 skipped flush and 1 digest sent", st)
+	}
+	// Forcing the anti-entropy cadence re-floods the full set (loss
+	// recovery); installing again is a no-op, and stale seqs are
+	// dropped.
+	w.ases[aidA].engine.SetDissemination(ModeMesh, 1)
 	if n := w.ases[aidA].engine.FlushDigest(); n != 1 {
-		t.Fatalf("cumulative re-flush flooded %d entries, want 1", n)
+		t.Fatalf("anti-entropy re-flush flooded %d entries, want 1", n)
 	}
 	if got := w.ases[aidC].router.RemoteRevoked().Len(); got != 1 {
 		t.Fatalf("third AS remote list has %d entries, want 1", got)
@@ -477,29 +488,31 @@ func TestDigestFloodInstallsAtThirdAS(t *testing.T) {
 
 func TestDigestReplayAndForgeryRejected(t *testing.T) {
 	w := newWorld(t, aidA, aidC)
-	d := &Digest{Origin: aidA, Seq: 1, IssuedAt: w.now, Entries: []DigestEntry{
+	d := &Digest{Origin: aidA, Seq: 1, IssuedAt: w.now, Kind: DigestSnapshot, Entries: []DigestEntry{
 		{EphID: w.ases[aidA].sealer.Mint(ephid.Payload{HID: 7, ExpTime: uint32(w.now) + 600}),
 			ExpTime: uint32(w.now) + 600},
 	}}
 	d.Sign(w.ases[aidA].signer)
 	engC := w.ases[aidC].engine
-	if err := engC.HandleDigest(d.Encode()); err != nil {
+	if err := engC.HandleDigest(aidA, d.Encode()); err != nil {
 		t.Fatal(err)
 	}
 	if got := w.ases[aidC].router.RemoteRevoked().Len(); got != 1 {
 		t.Fatalf("remote list %d, want 1", got)
 	}
 	// Replay: same seq again is stale.
-	if err := engC.HandleDigest(d.Encode()); err != nil {
+	if err := engC.HandleDigest(aidA, d.Encode()); err != nil {
 		t.Fatal(err)
 	}
 	if st := engC.Stats(); st.DigestsStale != 1 {
 		t.Fatalf("stats %+v, want 1 stale digest", st)
 	}
-	// Forgery: a digest signed by the wrong AS is rejected.
-	forged := &Digest{Origin: aidA, Seq: 9, IssuedAt: w.now, Entries: d.Entries}
+	// Forgery: a digest signed by the wrong AS is rejected — its seq is
+	// above the accepted high-water mark, so it reaches (and fails) the
+	// signature check rather than the early dedup.
+	forged := &Digest{Origin: aidA, Seq: 9, IssuedAt: w.now, Kind: DigestSnapshot, Entries: d.Entries}
 	forged.Sign(w.ases[aidC].signer)
-	if err := engC.HandleDigest(forged.Encode()); !errors.Is(err, ErrBadSignature) {
+	if err := engC.HandleDigest(aidA, forged.Encode()); !errors.Is(err, ErrBadSignature) {
 		t.Fatalf("err = %v, want ErrBadSignature", err)
 	}
 }
@@ -511,13 +524,13 @@ func TestDigestAfterGCRetentionSkipsExpiredEntries(t *testing.T) {
 	// installed at all.
 	dead := w.ases[aidA].sealer.Mint(ephid.Payload{HID: 7, ExpTime: uint32(w.now - 50)})
 	live := w.ases[aidA].sealer.Mint(ephid.Payload{HID: 7, ExpTime: uint32(w.now + 600)})
-	d := &Digest{Origin: aidA, Seq: 1, IssuedAt: w.now - 100, Entries: []DigestEntry{
+	d := &Digest{Origin: aidA, Seq: 1, IssuedAt: w.now - 100, Kind: DigestSnapshot, Entries: []DigestEntry{
 		{EphID: dead, ExpTime: uint32(w.now - 50)},
 		{EphID: live, ExpTime: uint32(w.now + 600)},
 	}}
 	d.Sign(w.ases[aidA].signer)
 	engC := w.ases[aidC].engine
-	if err := engC.HandleDigest(d.Encode()); err != nil {
+	if err := engC.HandleDigest(aidA, d.Encode()); err != nil {
 		t.Fatal(err)
 	}
 	list := w.ases[aidC].router.RemoteRevoked()

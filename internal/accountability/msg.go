@@ -25,6 +25,14 @@ const (
 	// MsgComplaintAck is the AA-to-host answer closing a complaint:
 	// one status byte (1 = a receipt follows) plus the encoded receipt.
 	MsgComplaintAck byte = 5
+	// MsgDigestBatch carries several origin-signed digests in one frame:
+	// the relay overlay's per-tick aggregate, forwarding everything an AS
+	// learned since its last flush to each overlay neighbor in a single
+	// message.
+	MsgDigestBatch byte = 6
+	// MsgSnapshotRequest asks an origin for a full snapshot digest after
+	// a seq gap: the body names the origin whose chain broke.
+	MsgSnapshotRequest byte = 7
 )
 
 // Signature labels, domain-separating the three signed artifacts.
@@ -299,14 +307,27 @@ type DigestEntry struct {
 	ExpTime uint32
 }
 
-// Digest is a signed batch of an AS's live revocations, flooded
-// periodically to every peer AA. Digests are *cumulative* — each one
-// carries every revocation of the origin AS that has not yet expired —
-// so a digest lost or reordered by a chaotic link is repaired by the
-// next one, and installing a digest is idempotent. Seq increases with
-// every flush; receivers drop digests at or below the highest seq
-// already accepted from that origin, which rejects replays without
-// risking gaps.
+// Digest kinds, carried on the wire so receivers know whether Entries
+// is a full state or a change set.
+const (
+	// DigestSnapshot carries the origin's entire live revocation set —
+	// the anti-entropy form that repairs any loss or reorder.
+	DigestSnapshot byte = 1
+	// DigestDelta carries only the changes since the origin's previous
+	// flush: Entries were added, Removed expired out of the announced
+	// set. A delta applies only on top of seq-1.
+	DigestDelta byte = 2
+)
+
+// Digest is a signed batch of an AS's revocation state, disseminated
+// periodically to peer AAs. Seq increases with every flush and chains
+// deltas to their predecessor: a DigestDelta with seq s applies only to
+// a receiver whose applied seq is exactly s-1, while a DigestSnapshot
+// applies on top of any older seq. Receivers that detect a seq gap mark
+// the origin for repair and recover from the next snapshot — the
+// periodic anti-entropy round, or a unicast answer to a
+// MsgSnapshotRequest. Replays (seq at or below the newest accepted)
+// are dropped either way.
 type Digest struct {
 	// Origin is the AS whose revocations these are.
 	Origin ephid.AID
@@ -314,8 +335,16 @@ type Digest struct {
 	Seq uint64
 	// IssuedAt is the origin's clock at signing, in Unix seconds.
 	IssuedAt int64
-	// Entries lists the origin's live revocations, in EphID order.
+	// Kind is DigestSnapshot or DigestDelta.
+	Kind byte
+	// Entries lists revocations in EphID order: the full live set for a
+	// snapshot, the additions since seq-1 for a delta.
 	Entries []DigestEntry
+	// Removed lists EphIDs that left the origin's announced set since
+	// seq-1 (expiry pruning), in EphID order. Always empty on snapshots.
+	// It is advisory: receivers' remote lists reap expired entries by
+	// their own GC, so nothing installs or uninstalls from it.
+	Removed []ephid.EphID
 	// Signature is the origin AS's signature over all fields above.
 	Signature [crypto.SignatureSize]byte
 }
@@ -324,10 +353,15 @@ func (d *Digest) appendTBS(dst []byte) []byte {
 	dst = binary.BigEndian.AppendUint32(dst, uint32(d.Origin))
 	dst = binary.BigEndian.AppendUint64(dst, d.Seq)
 	dst = binary.BigEndian.AppendUint64(dst, uint64(d.IssuedAt))
+	dst = append(dst, d.Kind)
 	dst = binary.BigEndian.AppendUint32(dst, uint32(len(d.Entries)))
 	for _, e := range d.Entries {
 		dst = append(dst, e.EphID[:]...)
 		dst = binary.BigEndian.AppendUint32(dst, e.ExpTime)
+	}
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(d.Removed)))
+	for _, id := range d.Removed {
+		dst = append(dst, id[:]...)
 	}
 	return dst
 }
@@ -356,28 +390,115 @@ func (d *Digest) Encode() []byte {
 }
 
 // DecodeDigest parses a serialized digest (without verifying it; call
-// Verify).
+// Verify). It rejects unknown kinds and snapshots carrying removals, so
+// malformed state never reaches the install path.
 func DecodeDigest(data []byte) (*Digest, error) {
-	const fixed = 4 + 8 + 8 + 4
-	if len(data) < fixed+crypto.SignatureSize {
+	const fixed = 4 + 8 + 8 + 1 + 4
+	const entrySize = ephid.Size + 4
+	if len(data) < fixed+4+crypto.SignatureSize {
 		return nil, fmt.Errorf("%w: %d bytes", ErrBadDigest, len(data))
 	}
 	var d Digest
 	d.Origin = ephid.AID(binary.BigEndian.Uint32(data))
 	d.Seq = binary.BigEndian.Uint64(data[4:])
 	d.IssuedAt = int64(binary.BigEndian.Uint64(data[12:]))
-	n := int(binary.BigEndian.Uint32(data[20:]))
-	const entrySize = ephid.Size + 4
-	if len(data) != fixed+n*entrySize+crypto.SignatureSize {
+	d.Kind = data[20]
+	if d.Kind != DigestSnapshot && d.Kind != DigestDelta {
+		return nil, fmt.Errorf("%w: kind %d", ErrBadDigest, d.Kind)
+	}
+	n := int(binary.BigEndian.Uint32(data[21:]))
+	// Bound n by the bytes actually present before allocating.
+	if n < 0 || len(data)-fixed-4-crypto.SignatureSize < n*entrySize {
 		return nil, fmt.Errorf("%w: %d entries vs %d bytes", ErrBadDigest, n, len(data))
 	}
+	off := fixed + n*entrySize
+	m := int(binary.BigEndian.Uint32(data[off:]))
+	off += 4
+	if m < 0 || len(data) != off+m*ephid.Size+crypto.SignatureSize {
+		return nil, fmt.Errorf("%w: %d entries + %d removed vs %d bytes", ErrBadDigest, n, m, len(data))
+	}
+	if d.Kind == DigestSnapshot && m != 0 {
+		return nil, fmt.Errorf("%w: snapshot with %d removals", ErrBadDigest, m)
+	}
 	d.Entries = make([]DigestEntry, n)
-	off := fixed
+	eoff := fixed
 	for i := range d.Entries {
-		copy(d.Entries[i].EphID[:], data[off:])
-		d.Entries[i].ExpTime = binary.BigEndian.Uint32(data[off+ephid.Size:])
-		off += entrySize
+		copy(d.Entries[i].EphID[:], data[eoff:])
+		d.Entries[i].ExpTime = binary.BigEndian.Uint32(data[eoff+ephid.Size:])
+		eoff += entrySize
+	}
+	d.Removed = make([]ephid.EphID, m)
+	for i := range d.Removed {
+		copy(d.Removed[i][:], data[off:])
+		off += ephid.Size
 	}
 	copy(d.Signature[:], data[off:])
 	return &d, nil
+}
+
+// EncodeDigestBatch frames several raw signed digests into one
+// MsgDigestBatch body: a 2-byte count followed by 4-byte-length-prefixed
+// encodings. Relays batch so one tick costs one message per overlay
+// neighbor no matter how many origins were active.
+func EncodeDigestBatch(raws [][]byte) []byte {
+	size := 2
+	for _, r := range raws {
+		size += 4 + len(r)
+	}
+	out := make([]byte, 0, size)
+	out = binary.BigEndian.AppendUint16(out, uint16(len(raws)))
+	for _, r := range raws {
+		out = binary.BigEndian.AppendUint32(out, uint32(len(r)))
+		out = append(out, r...)
+	}
+	return out
+}
+
+// MaxDigestBatch bounds the digests one batch may carry.
+const MaxDigestBatch = 1 << 14
+
+// DecodeDigestBatch splits a MsgDigestBatch body back into the raw
+// digest encodings. The returned slices alias data; they are not
+// decoded or verified here — each goes through DecodeDigest + Verify
+// individually, so one malformed element cannot poison its siblings.
+func DecodeDigestBatch(data []byte) ([][]byte, error) {
+	if len(data) < 2 {
+		return nil, fmt.Errorf("%w: batch of %d bytes", ErrBadDigest, len(data))
+	}
+	n := int(binary.BigEndian.Uint16(data))
+	if n > MaxDigestBatch {
+		return nil, fmt.Errorf("%w: batch of %d digests", ErrBadDigest, n)
+	}
+	raws := make([][]byte, 0, n)
+	off := 2
+	for i := 0; i < n; i++ {
+		if len(data)-off < 4 {
+			return nil, fmt.Errorf("%w: batch truncated at element %d", ErrBadDigest, i)
+		}
+		l := int(binary.BigEndian.Uint32(data[off:]))
+		off += 4
+		if l < 0 || len(data)-off < l {
+			return nil, fmt.Errorf("%w: batch element %d of %d bytes", ErrBadDigest, i, l)
+		}
+		raws = append(raws, data[off:off+l])
+		off += l
+	}
+	if off != len(data) {
+		return nil, fmt.Errorf("%w: %d trailing batch bytes", ErrBadDigest, len(data)-off)
+	}
+	return raws, nil
+}
+
+// EncodeSnapshotRequest builds a MsgSnapshotRequest body naming the
+// origin whose delta chain the requester lost.
+func EncodeSnapshotRequest(origin ephid.AID) []byte {
+	return binary.BigEndian.AppendUint32(nil, uint32(origin))
+}
+
+// DecodeSnapshotRequest parses a MsgSnapshotRequest body.
+func DecodeSnapshotRequest(data []byte) (ephid.AID, error) {
+	if len(data) != 4 {
+		return 0, fmt.Errorf("%w: snapshot request of %d bytes", ErrBadDigest, len(data))
+	}
+	return ephid.AID(binary.BigEndian.Uint32(data)), nil
 }

@@ -84,4 +84,22 @@ func TestRegenerateFixtures(t *testing.T) {
 		t.Fatal(err)
 	}
 	write("BENCH_e11.json", append(e11raw, '\n'))
+
+	e12cfg := experiments.DefaultE12()
+	e12cfg.Core, e12cfg.Mid, e12cfg.Stubs = 4, 8, 24
+	e12cfg.ActiveOrigins = 4
+	e12cfg.Backlog = 100
+	e12cfg.ChurnPerTick = 2
+	e12cfg.MeshASes = 8
+	e12cfg.EquivASes = 20
+	e12cfg.EquivChurnTicks = 2
+	e12res, err := experiments.RunE12(e12cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e12raw, err := e12res.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	write("BENCH_e12.json", append(e12raw, '\n'))
 }

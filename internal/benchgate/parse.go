@@ -74,7 +74,7 @@ type artifactHead struct {
 	Provenance provenance.Block `json:"provenance"`
 }
 
-// ParseArtifact decodes one BENCH_*.json artifact of any of the four
+// ParseArtifact decodes one BENCH_*.json artifact of any of the five
 // shapes. It refuses artifacts without a provenance config hash —
 // without one the gate cannot prove two runs are comparable — and
 // rejects trailing garbage, truncated JSON-lines, and unknown
@@ -111,6 +111,11 @@ func ParseArtifact(data []byte) (*Artifact, error) {
 			return nil, err
 		}
 		return art, parseE11(first, art)
+	case "e12":
+		if err := requireEnd(dec); err != nil {
+			return nil, err
+		}
+		return art, parseE12(first, art)
 	case "e9":
 		lines, err := decodeLines(dec)
 		if err != nil {
@@ -277,6 +282,38 @@ type e11Artifact struct {
 			PeakRSSBytes float64 `json:"peak_rss_bytes"`
 		} `json:"result"`
 	} `json:"tiers"`
+}
+
+// ---- E12: digest dissemination sweep, single object with phases ----
+
+type e12Artifact struct {
+	Relay *struct {
+		MsgsPerIntervalMax    float64 `json:"msgs_per_interval_max"`
+		DeltaBytesPerInterval float64 `json:"delta_bytes_per_interval"`
+		SnapshotSyncBytes     float64 `json:"snapshot_sync_bytes"`
+		LatencyMaxMs          float64 `json:"latency_max_ms"`
+	} `json:"relay"`
+	Equivalence *struct {
+		MeshTicksToConverge  float64 `json:"mesh_ticks_to_converge"`
+		RelayTicksToConverge float64 `json:"relay_ticks_to_converge"`
+	} `json:"equivalence"`
+}
+
+func parseE12(raw json.RawMessage, art *Artifact) error {
+	var doc e12Artifact
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return fmt.Errorf("benchgate: e12 artifact: %w", err)
+	}
+	if doc.Relay == nil || doc.Equivalence == nil {
+		return fmt.Errorf("benchgate: e12 artifact carries no relay/equivalence phases")
+	}
+	art.add("relay_msgs_per_interval", LowerBetter, "msgs", doc.Relay.MsgsPerIntervalMax)
+	art.add("relay_delta_bytes_per_interval", LowerBetter, "B", doc.Relay.DeltaBytesPerInterval)
+	art.add("relay_snapshot_sync_bytes", LowerBetter, "B", doc.Relay.SnapshotSyncBytes)
+	art.add("relay_latency_max_ms", LowerBetter, "ms", doc.Relay.LatencyMaxMs)
+	art.add("equiv_mesh_ticks_to_converge", LowerBetter, "ticks", doc.Equivalence.MeshTicksToConverge)
+	art.add("equiv_relay_ticks_to_converge", LowerBetter, "ticks", doc.Equivalence.RelayTicksToConverge)
+	return nil
 }
 
 func parseE11(raw json.RawMessage, art *Artifact) error {

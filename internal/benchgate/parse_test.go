@@ -57,6 +57,14 @@ func TestGoldenArtifactShapes(t *testing.T) {
 				"gc_max_pause_us@2000", "digest_bytes@2000", "peak_rss_bytes@2000",
 			},
 		},
+		{
+			fixture: "BENCH_e12.json", experiment: "e12", samples: 1,
+			metrics: []string{
+				"relay_msgs_per_interval", "relay_delta_bytes_per_interval",
+				"relay_snapshot_sync_bytes", "relay_latency_max_ms",
+				"equiv_mesh_ticks_to_converge", "equiv_relay_ticks_to_converge",
+			},
+		},
 	}
 	for _, tc := range cases {
 		t.Run(tc.fixture, func(t *testing.T) {
@@ -89,13 +97,15 @@ func TestGoldenDirections(t *testing.T) {
 		fixture string
 		want    Direction
 	}{
-		"pps":                  {"BENCH_e8.json", HigherBetter},
-		"egress_p99_ns":        {"BENCH_e8.json", LowerBetter},
-		"delivered":            {"BENCH_e9.json", HigherBetter},
-		"dissemination_max_ms": {"BENCH_e10.json", LowerBetter},
-		"events_per_sec@500":   {"BENCH_e11.json", HigherBetter},
-		"issue_p99_us@2000":    {"BENCH_e11.json", LowerBetter},
-		"peak_rss_bytes@500":   {"BENCH_e11.json", LowerBetter},
+		"pps":                     {"BENCH_e8.json", HigherBetter},
+		"egress_p99_ns":           {"BENCH_e8.json", LowerBetter},
+		"delivered":               {"BENCH_e9.json", HigherBetter},
+		"dissemination_max_ms":    {"BENCH_e10.json", LowerBetter},
+		"events_per_sec@500":      {"BENCH_e11.json", HigherBetter},
+		"issue_p99_us@2000":       {"BENCH_e11.json", LowerBetter},
+		"peak_rss_bytes@500":      {"BENCH_e11.json", LowerBetter},
+		"relay_msgs_per_interval": {"BENCH_e12.json", LowerBetter},
+		"relay_latency_max_ms":    {"BENCH_e12.json", LowerBetter},
 	}
 	for name, tc := range dirs {
 		art, err := ParseArtifact(readFixture(t, tc.fixture))
@@ -137,6 +147,7 @@ func TestParseArtifactRejects(t *testing.T) {
 		{"e8 without report", `{"experiment":"e8","provenance":{"config_hash":"ab"}}`, "no report"},
 		{"e11 without tiers", `{"experiment":"e11","provenance":{"config_hash":"ab"}}`, "no tiers"},
 		{"e11 tier without result", `{"experiment":"e11","provenance":{"config_hash":"ab"},"tiers":[{"hosts":10}]}`, "no result"},
+		{"e12 without phases", `{"experiment":"e12","provenance":{"config_hash":"ab"}}`, "no relay/equivalence phases"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -20,8 +20,9 @@ import (
 // honest client and one misbehaving client attacking a server in a
 // *different* AS. Victims complain to their own AS's accountability
 // agent; the shutoff crosses the border AA-to-AA, the source AS
-// answers with a signed receipt, and periodic cumulative revocation
-// digests flood every agent so all borders drop the revoked senders —
+// answers with a signed receipt, and periodic revocation digests
+// (deltas with anti-entropy snapshots) flood every agent so all
+// borders drop the revoked senders —
 // including validly-MACed post-shutoff frames injected on-path at
 // third-party ASes that never saw the complaint. The gates: every
 // cross-AS shutoff lands (receipt verified end-to-end), dissemination
@@ -42,6 +43,10 @@ type E10Config struct {
 	Chaos apna.ChaosConfig
 	// DigestInterval is the revocation-digest dissemination cadence.
 	DigestInterval time.Duration
+	// SnapshotEvery is the anti-entropy cadence: every k-th digest flush
+	// carries the full revocation set instead of a delta, which is what
+	// repairs a delta lost to chaos when no later churn reveals the gap.
+	SnapshotEvery int
 	// EphIDLifetime is the client EphID validity in seconds. It is
 	// deliberately much longer than the run: revocation, not expiry,
 	// must be what stops the attackers.
@@ -72,6 +77,7 @@ func DefaultE10() E10Config {
 			ReorderProb: 0.05, ReorderDelay: 3 * time.Millisecond,
 		},
 		DigestInterval: 10 * time.Second,
+		SnapshotEvery:  2,
 		EphIDLifetime:  3600,
 		PostWaves:      2,
 		Attackers:      2,
@@ -80,12 +86,17 @@ func DefaultE10() E10Config {
 }
 
 // DisseminationBound is the latency budget within which a revocation
-// must reach every AS: three digest intervals (the first flush after
-// the revocation, plus two retransmissions of the cumulative digest to
-// ride out chaotic loss) plus propagation slack.
+// must reach every AS: one interval to the first flush carrying the
+// revocation (a delta), plus two full anti-entropy snapshot rounds
+// (SnapshotEvery intervals apart) to ride out chaotic loss of both the
+// delta and the first snapshot, plus propagation slack.
 func (cfg E10Config) DisseminationBound() time.Duration {
 	maxLink := cfg.LinkLatency + cfg.Chaos.Jitter + cfg.Chaos.ReorderDelay
-	return 3*cfg.DigestInterval + 10*maxLink
+	snap := cfg.SnapshotEvery
+	if snap <= 0 {
+		snap = 2
+	}
+	return time.Duration(1+2*snap)*cfg.DigestInterval + 10*maxLink
 }
 
 // E10Verdict is the JSON verdict of one seed's run.
@@ -196,7 +207,11 @@ func runE10Seed(cfg E10Config, seed int64) (*E10Verdict, error) {
 	topo := []apna.TopologyOption{
 		apna.WithFullMesh(firstAID, n, cfg.LinkLatency),
 		apna.WithChaos(cfg.Chaos),
-		apna.WithAccountability(cfg.DigestInterval),
+		apna.WithDissemination(apna.Dissemination{
+			Interval:      cfg.DigestInterval,
+			Mode:          apna.DisseminateMesh,
+			SnapshotEvery: cfg.SnapshotEvery,
+		}),
 	}
 	for i := 0; i < n; i++ {
 		topo = append(topo, apna.WithHosts(aidOf(i),

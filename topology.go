@@ -27,7 +27,7 @@ type Topology struct {
 	attackers []topoAttacker
 	chaos     *ChaosConfig
 	lifetimes *Lifetimes
-	digest    *time.Duration
+	dissem    *Dissemination
 	errs      []error
 }
 
@@ -104,6 +104,16 @@ func WithFullMesh(first AID, n int, latency time.Duration) TopologyOption {
 	return func(t *Topology) { t.FullMesh(first, n, latency) }
 }
 
+// WithASGraph generates a provider/customer AS hierarchy (the internet
+// shape the paper assumes digests propagate across): a fully meshed
+// tier-1 core, mid-tier transit ASes multi-homed to core providers, and
+// stub leaf ASes multi-homed to mid providers. ASes are numbered first,
+// first+1, ... core-first; provider assignment is deterministic
+// round-robin, so the same config always yields the same graph.
+func WithASGraph(first AID, g ASGraphConfig) TopologyOption {
+	return func(t *Topology) { t.ASGraph(first, g) }
+}
+
 // WithChaos applies a chaos configuration (jitter, duplication,
 // reordering, loss, timed partitions) to every inter-AS link of the
 // built internet. Intra-AS links stay clean — the adversary sits on
@@ -130,14 +140,24 @@ func WithLifetimes(lt Lifetimes) TopologyOption {
 
 // WithAccountability starts revocation-digest dissemination on the
 // built internet: every interval of virtual time each AS's
-// accountability engine floods a signed, cumulative digest of its live
-// revocations to every peer agent, so border routers across the whole
-// internet drop frames from remotely-revoked EphIDs. A non-positive
-// interval selects DefaultDigestInterval. Complaints (Host.Complain)
-// work without this option; only internet-wide dissemination needs the
-// timer.
+// accountability engine flushes a signed digest of its live revocations
+// (a delta of the churn since the last flush, periodically a full
+// anti-entropy snapshot) to every peer agent, so border routers across
+// the whole internet drop frames from remotely-revoked EphIDs. A
+// non-positive interval selects DefaultDigestInterval. Complaints
+// (Host.Complain) work without this option; only internet-wide
+// dissemination needs the timer. WithDissemination exposes the full
+// configuration (relay mode, snapshot cadence).
 func WithAccountability(digestInterval time.Duration) TopologyOption {
 	return func(t *Topology) { t.Accountability(digestInterval) }
+}
+
+// WithDissemination starts revocation-digest dissemination with an
+// explicit configuration: interval, mode (mesh flooding or the
+// bounded-fan-out relay overlay along physical links) and anti-entropy
+// snapshot cadence. Zero fields take defaults.
+func WithDissemination(d Dissemination) TopologyOption {
+	return func(t *Topology) { t.Dissemination(d) }
 }
 
 // NewTopology returns an empty topology for the chainable method API;
@@ -180,9 +200,16 @@ func (t *Topology) Lifetimes(lt Lifetimes) *Topology {
 	return t
 }
 
-// Accountability stores the revocation-digest dissemination cadence.
+// Accountability stores the revocation-digest dissemination cadence
+// with default mode and snapshot cadence.
 func (t *Topology) Accountability(digestInterval time.Duration) *Topology {
-	t.digest = &digestInterval
+	return t.Dissemination(Dissemination{Interval: digestInterval})
+}
+
+// Dissemination stores the full revocation-digest dissemination
+// configuration.
+func (t *Topology) Dissemination(d Dissemination) *Topology {
+	t.dissem = &d
 	return t
 }
 
@@ -238,6 +265,66 @@ func (t *Topology) FullMesh(first AID, n int, latency time.Duration) *Topology {
 		for j := 0; j < i; j++ {
 			t.Link(first+AID(j), first+AID(i), latency)
 		}
+	}
+	return t
+}
+
+// ASGraphConfig sizes a provider/customer AS hierarchy for the ASGraph
+// generator: Core tier-1 ASes in a full mesh, Mid transit ASes each
+// buying from ProvidersPerAS core providers, and Stubs leaf ASes each
+// buying from ProvidersPerAS mid providers. Total ASes =
+// Core + Mid + Stubs; maximum overlay depth is 4 hops
+// (stub → mid → core → mid → stub), so relay dissemination latency is
+// bounded by 4 digest intervals regardless of scale.
+type ASGraphConfig struct {
+	// Core is the number of fully meshed tier-1 ASes (>= 1).
+	Core int
+	// Mid is the number of mid-tier transit ASes.
+	Mid int
+	// Stubs is the number of stub leaf ASes (requires Mid >= 1).
+	Stubs int
+	// ProvidersPerAS is how many providers each non-core AS links to
+	// (multi-homing degree; non-positive selects 2, clamped to the size
+	// of the tier above).
+	ProvidersPerAS int
+	// CoreLatency is the one-way latency of core-core links.
+	CoreLatency time.Duration
+	// Latency is the one-way latency of provider-customer links.
+	Latency time.Duration
+}
+
+// ASGraph appends a provider/customer hierarchy: a Core-AS full mesh at
+// first, Mid transit ASes at first+Core, Stubs leaves at
+// first+Core+Mid. Provider assignment is deterministic round-robin
+// (customer i's j-th provider is tier-above AS (i*P+j) mod tier size),
+// spreading customers evenly while keeping the graph reproducible.
+func (t *Topology) ASGraph(first AID, g ASGraphConfig) *Topology {
+	if g.Core < 1 || g.Mid < 0 || g.Stubs < 0 || (g.Stubs > 0 && g.Mid < 1) {
+		t.errs = append(t.errs, fmt.Errorf("%w: AS graph core=%d mid=%d stubs=%d",
+			ErrBadTopology, g.Core, g.Mid, g.Stubs))
+		return t
+	}
+	p := g.ProvidersPerAS
+	if p <= 0 {
+		p = 2
+	}
+	t.FullMesh(first, g.Core, g.CoreLatency)
+	attach := func(aid AID, i, providers int, tierFirst AID, tierSize int) {
+		t.AS(aid)
+		if providers > tierSize {
+			providers = tierSize
+		}
+		for j := 0; j < providers; j++ {
+			t.Link(tierFirst+AID((i*providers+j)%tierSize), aid, g.Latency)
+		}
+	}
+	midFirst := first + AID(g.Core)
+	for i := 0; i < g.Mid; i++ {
+		attach(midFirst+AID(i), i, p, first, g.Core)
+	}
+	stubFirst := midFirst + AID(g.Mid)
+	for i := 0; i < g.Stubs; i++ {
+		attach(stubFirst+AID(i), i, p, midFirst, g.Mid)
 	}
 	return t
 }
@@ -373,8 +460,8 @@ func (t *Topology) Build(seed int64) (*Internet, error) {
 	if t.lifetimes != nil {
 		in.StartLifecycle(*t.lifetimes)
 	}
-	if t.digest != nil {
-		in.StartAccountability(*t.digest)
+	if t.dissem != nil {
+		in.ConfigureDissemination(*t.dissem)
 	}
 	return in, nil
 }

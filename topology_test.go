@@ -128,3 +128,116 @@ func TestWithOptionsReachesSimulation(t *testing.T) {
 		t.Errorf("StrikeLimit = %d", in.opts.StrikeLimit)
 	}
 }
+
+// TestASGraphGenerator checks the provider/customer hierarchy without
+// building an internet: AS count, connectivity, the degree bound the
+// relay fan-out gate relies on, and determinism.
+func TestASGraphGenerator(t *testing.T) {
+	g := ASGraphConfig{Core: 4, Mid: 8, Stubs: 24, ProvidersPerAS: 2,
+		CoreLatency: time.Millisecond, Latency: 5 * time.Millisecond}
+	gen := func() *Topology { return NewTopology().ASGraph(1000, g) }
+	topo := gen()
+	if err := topo.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	total := g.Core + g.Mid + g.Stubs
+	if len(topo.ases) != total {
+		t.Fatalf("%d ASes, want %d", len(topo.ases), total)
+	}
+	// Every non-core AS has exactly ProvidersPerAS provider links;
+	// total links = core mesh + provider edges.
+	wantLinks := g.Core*(g.Core-1)/2 + (g.Mid+g.Stubs)*g.ProvidersPerAS
+	if len(topo.links) != wantLinks {
+		t.Fatalf("%d links, want %d", len(topo.links), wantLinks)
+	}
+	// Degree bound: a core AS carries the clique plus its round-robin
+	// share of mid customers; a mid AS its providers plus stub share.
+	deg := make(map[AID]int)
+	adj := make(map[AID][]AID)
+	for _, l := range topo.links {
+		deg[l.a]++
+		deg[l.b]++
+		adj[l.a] = append(adj[l.a], l.b)
+		adj[l.b] = append(adj[l.b], l.a)
+	}
+	maxDeg := 0
+	for _, d := range deg {
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	coreBound := g.Core - 1 + (g.Mid*g.ProvidersPerAS+g.Core-1)/g.Core
+	midBound := g.ProvidersPerAS + (g.Stubs*g.ProvidersPerAS+g.Mid-1)/g.Mid
+	bound := coreBound
+	if midBound > bound {
+		bound = midBound
+	}
+	if maxDeg > bound {
+		t.Fatalf("max degree %d exceeds round-robin bound %d", maxDeg, bound)
+	}
+	// Connectivity: BFS from the first core AS reaches every AS.
+	seen := map[AID]bool{1000: true}
+	queue := []AID{1000}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, nb := range adj[cur] {
+			if !seen[nb] {
+				seen[nb] = true
+				queue = append(queue, nb)
+			}
+		}
+	}
+	if len(seen) != total {
+		t.Fatalf("BFS reached %d of %d ASes", len(seen), total)
+	}
+	// Determinism: a second generation yields the identical link list.
+	again := gen()
+	for i, l := range topo.links {
+		if again.links[i] != l {
+			t.Fatalf("link %d differs between generations: %v vs %v", i, l, again.links[i])
+		}
+	}
+	// Generator argument validation.
+	for _, bad := range []ASGraphConfig{{Core: 0}, {Core: 1, Stubs: 3}} {
+		if err := NewTopology().ASGraph(1, bad).Validate(); !errors.Is(err, ErrBadTopology) {
+			t.Errorf("ASGraph(%+v) err = %v, want ErrBadTopology", bad, err)
+		}
+	}
+}
+
+// TestASGraphRelayDissemination builds a small provider hierarchy with
+// relay-mode dissemination and checks a revocation noted at one stub
+// reaches the remote revocation list of a stub homed to different
+// providers — four overlay hops, batches riding real simulated links.
+func TestASGraphRelayDissemination(t *testing.T) {
+	const interval = time.Second
+	in, err := New(7,
+		WithASGraph(100, ASGraphConfig{Core: 2, Mid: 2, Stubs: 4, ProvidersPerAS: 1,
+			CoreLatency: time.Millisecond, Latency: 2 * time.Millisecond}),
+		WithDissemination(Dissemination{Interval: interval, Mode: DisseminateRelay}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With ProvidersPerAS=1 the shape is a tree: stubs 104..107 hang off
+	// mids 102/103, which hang off cores 100/101.
+	origin, far := AID(104), AID(107)
+	id := EphID{0xaa, 0xbb, 1}
+	exp := uint32(in.Now() + 3600)
+	in.AS(origin).Acct.NoteRevoked(id, exp)
+	in.RunFor(7 * interval)
+	if !in.AS(far).Router.RemoteRevoked().Matches(id, origin) {
+		t.Fatal("revocation did not traverse the relay overlay")
+	}
+	// Bounded fan-out: each engine sent at most degree messages per
+	// interval (plus nothing before the origin had state).
+	for _, as := range in.ASes() {
+		st := as.Acct.Stats()
+		degree := len(in.adjacency[as.AID])
+		if st.MessagesSent > uint64(degree)*8 {
+			t.Fatalf("AS %v sent %d digest messages over 7 intervals (degree %d)",
+				as.AID, st.MessagesSent, degree)
+		}
+	}
+}

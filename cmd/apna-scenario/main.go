@@ -71,7 +71,7 @@ func main() {
 	set := make(map[string]bool)
 	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
 
-	start := time.Now()
+	start := time.Now() //apna:wallclock
 	switch *exp {
 	case "e6":
 		cfg := experiments.ScenarioConfig{
@@ -207,7 +207,7 @@ func main() {
 	if *jsonOut {
 		out = os.Stderr
 	}
-	fmt.Fprintf(out, "  total wall time:     %v\n", time.Since(start).Round(time.Millisecond))
+	fmt.Fprintf(out, "  total wall time:     %v\n", time.Since(start).Round(time.Millisecond)) //apna:wallclock
 }
 
 func fatal(err error) {

@@ -28,14 +28,14 @@ func main() {
 		Hosts: *hosts, Duration: *duration, PeakRate: *peak,
 		Seed: *seed, DurationSampleRate: *sample,
 	}
-	start := time.Now()
+	start := time.Now() //apna:wallclock
 	stats, err := trace.Generate(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "apna-trace:", err)
 		os.Exit(1)
 	}
 	fmt.Printf("synthetic trace: %v over %d hosts (seed %d), analyzed in %v\n",
-		*duration, *hosts, *seed, time.Since(start).Round(time.Millisecond))
+		*duration, *hosts, *seed, time.Since(start).Round(time.Millisecond)) //apna:wallclock
 	fmt.Printf("  total sessions:    %d\n", stats.TotalSessions)
 	fmt.Printf("  unique hosts:      %d  (paper: 1,266,598)\n", stats.UniqueHosts)
 	fmt.Printf("  peak session rate: %d/s at t+%ds  (paper: 3,888/s)\n", stats.PeakRate, stats.PeakSecond)

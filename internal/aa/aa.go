@@ -99,7 +99,7 @@ func DecodeRequest(data []byte) (*Request, error) {
 	}
 	var r Request
 	if err := r.Cert.UnmarshalBinary(data[:cert.Size]); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+		return nil, fmt.Errorf("%w: %w", ErrBadRequest, err)
 	}
 	off := cert.Size
 	copy(r.Signature[:], data[off:])
@@ -193,10 +193,10 @@ func (a *Agent) VerifyEvidence(req *Request) (ephid.Payload, error) {
 	// store and check the signature and expiry.
 	issuerKey, err := a.trust.SigKey(req.Cert.AID, now)
 	if err != nil {
-		return ephid.Payload{}, fmt.Errorf("%w: %v", ErrBadCert, err)
+		return ephid.Payload{}, fmt.Errorf("%w: %w", ErrBadCert, err)
 	}
 	if err := req.Cert.Verify(issuerKey, now); err != nil {
-		return ephid.Payload{}, fmt.Errorf("%w: %v", ErrBadCert, err)
+		return ephid.Payload{}, fmt.Errorf("%w: %w", ErrBadCert, err)
 	}
 
 	// verifySig(K+_EphIDd, {pkt}): the requester owns EphID_d.
@@ -219,7 +219,7 @@ func (a *Agent) VerifyEvidence(req *Request) (ephid.Payload, error) {
 	}
 	p, err := a.sealer.Open(wire.FrameSrcEphID(req.Packet))
 	if err != nil {
-		return ephid.Payload{}, fmt.Errorf("%w: %v", ErrBadSrcEphID, err)
+		return ephid.Payload{}, fmt.Errorf("%w: %w", ErrBadSrcEphID, err)
 	}
 
 	// kHSAS = host_info[HID_S]; verifyMAC(kHSAS, pkt): the host really
@@ -227,7 +227,7 @@ func (a *Agent) VerifyEvidence(req *Request) (ephid.Payload, error) {
 	// Section VI-C).
 	entry, err := a.db.Get(p.HID)
 	if err != nil {
-		return ephid.Payload{}, fmt.Errorf("%w: %v", ErrUnknownHost, err)
+		return ephid.Payload{}, fmt.Errorf("%w: %w", ErrUnknownHost, err)
 	}
 	pm, err := wire.NewPacketMAC(entry.Keys.MAC[:])
 	if err != nil {
@@ -316,7 +316,7 @@ func (a *Agent) ShutoffVerified(req *Request, p ephid.Payload) (*Result, error) 
 func (a *Agent) RevokeVoluntary(hid ephid.HID, e ephid.EphID) error {
 	p, err := a.sealer.Open(e)
 	if err != nil {
-		return fmt.Errorf("%w: %v", ErrBadSrcEphID, err)
+		return fmt.Errorf("%w: %w", ErrBadSrcEphID, err)
 	}
 	if p.HID != hid {
 		return ErrNotAuthorized

@@ -98,11 +98,11 @@ func DecodeComplaint(data []byte) (*Complaint, error) {
 	}
 	var c Complaint
 	if err := c.OffenderCert.UnmarshalBinary(data[:cert.Size]); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadComplaint, err)
+		return nil, fmt.Errorf("%w: %w", ErrBadComplaint, err)
 	}
 	req, err := aa.DecodeRequest(data[cert.Size:])
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadComplaint, err)
+		return nil, fmt.Errorf("%w: %w", ErrBadComplaint, err)
 	}
 	c.Req = *req
 	return &c, nil
@@ -145,7 +145,7 @@ func (r *ShutoffRequest) Sign(signer Signer) {
 func (r *ShutoffRequest) Verify(trust TrustStore, nowUnix int64) error {
 	key, err := trust.SigKey(r.Origin, nowUnix)
 	if err != nil {
-		return fmt.Errorf("%w: %v", ErrBadSignature, err)
+		return fmt.Errorf("%w: %w", ErrBadSignature, err)
 	}
 	if !crypto.Verify(key, reqSigLabel, r.appendTBS(nil), r.Signature[:]) {
 		return ErrBadSignature
@@ -265,7 +265,7 @@ func (r *Receipt) Sign(signer Signer) {
 func (r *Receipt) Verify(trust TrustStore, nowUnix int64) error {
 	key, err := trust.SigKey(r.Issuer, nowUnix)
 	if err != nil {
-		return fmt.Errorf("%w: %v", ErrBadSignature, err)
+		return fmt.Errorf("%w: %w", ErrBadSignature, err)
 	}
 	if !crypto.Verify(key, receiptSigLabel, r.appendTBS(nil), r.Signature[:]) {
 		return ErrBadSignature
@@ -376,7 +376,7 @@ func (d *Digest) Sign(signer Signer) {
 func (d *Digest) Verify(trust TrustStore, nowUnix int64) error {
 	key, err := trust.SigKey(d.Origin, nowUnix)
 	if err != nil {
-		return fmt.Errorf("%w: %v", ErrBadSignature, err)
+		return fmt.Errorf("%w: %w", ErrBadSignature, err)
 	}
 	if !crypto.Verify(key, digestSigLabel, d.appendTBS(nil), d.Signature[:]) {
 		return ErrBadSignature

@@ -1,0 +1,242 @@
+package analysis
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// This file is a minimal analysistest: each testdata package annotates
+// the lines where an analyzer must report with
+//
+//	// want `regex` `regex` ...
+//
+// comments (one backquoted or quoted regex per expected diagnostic on
+// that line). runWant loads the directory under a synthetic import path
+// — which is how a testdata package impersonates a strict package like
+// apna/internal/netsim — runs one analyzer, and requires an exact
+// match: every diagnostic matched by a want on its line, every want
+// matched by a diagnostic.
+
+var wantRe = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+// parseWants returns line -> expected-message regexps for every file in
+// the package.
+func parseWants(t *testing.T, pkg *Package) map[string][]*regexp.Regexp {
+	t.Helper()
+	wants := make(map[string][]*regexp.Regexp) // "file:line" -> regexps
+	fset := sharedLoader(t).Fset
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				i := strings.Index(c.Text, "// want ")
+				if i < 0 {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				for _, m := range wantRe.FindAllString(c.Text[i+len("// want "):], -1) {
+					var pat string
+					if m[0] == '`' {
+						pat = m[1 : len(m)-1]
+					} else {
+						var err error
+						pat, err = strconv.Unquote(m)
+						if err != nil {
+							t.Fatalf("%s: bad want string %s: %v", key, m, err)
+						}
+					}
+					wants[key] = append(wants[key], regexp.MustCompile(pat))
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// runWant loads testdata/<sub> as importPath and checks the analyzer's
+// diagnostics against the package's want comments.
+func runWant(t *testing.T, sub, importPath string, a *Analyzer) {
+	t.Helper()
+	l := sharedLoader(t)
+	pkg, err := l.LoadDir(filepath.Join(moduleRoot(t), "internal/analysis/testdata", sub), importPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := Run(l.Fset, []*Package{pkg}, []*Analyzer{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants := parseWants(t, pkg)
+	matched := make(map[string][]bool)
+	for key, res := range wants {
+		matched[key] = make([]bool, len(res))
+	}
+	for _, d := range diags {
+		key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
+		ok := false
+		for i, re := range wants[key] {
+			if !matched[key][i] && re.MatchString(d.Message) {
+				matched[key][i] = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected diagnostic at %s: %s", key, d.Message)
+		}
+	}
+	for key, res := range wants {
+		for i, re := range res {
+			if !matched[key][i] {
+				t.Errorf("missing diagnostic at %s matching %q", key, re)
+			}
+		}
+	}
+}
+
+func TestDetwallStrict(t *testing.T) {
+	// The synthetic import path places the package inside the
+	// deterministic set, where wall-clock reads are unconditionally
+	// banned and map-order leaks are checked.
+	runWant(t, "detwall_strict", "apna/internal/netsim", Detwall)
+}
+
+func TestDetwallMeasurement(t *testing.T) {
+	// Outside the deterministic set //apna:wallclock sanctions
+	// measurement reads; bare reads still report.
+	runWant(t, "detwall_meas", "apna/example/meas", Detwall)
+}
+
+func TestHotpath(t *testing.T) {
+	runWant(t, "hotpath", "apna/example/hot", Hotpath)
+}
+
+func TestVerifyfirst(t *testing.T) {
+	runWant(t, "verifyfirst", "apna/internal/accountability", Verifyfirst)
+}
+
+func TestWrapcheck(t *testing.T) {
+	runWant(t, "wrapcheck", "apna/internal/wraptest", Wrapcheck)
+}
+
+func TestWrapcheckSkipsNonInternal(t *testing.T) {
+	// The same sources outside internal/ must produce nothing: the
+	// convention is scoped to the repo's internal packages.
+	l := sharedLoader(t)
+	pkg, err := l.LoadDir(filepath.Join(moduleRoot(t), "internal/analysis/testdata/wrapcheck"), "apna/example/wraptest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := Run(l.Fset, []*Package{pkg}, []*Analyzer{Wrapcheck})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("wrapcheck reported outside internal/: %v", diags)
+	}
+}
+
+func TestNilness(t *testing.T) {
+	runWant(t, "nilness", "apna/example/nilness", Nilness)
+}
+
+func TestDirectives(t *testing.T) {
+	runWant(t, "directives", "apna/example/directives", Directives)
+}
+
+// TestRepoCleanUnderFullSuite is the regression gate the satellites ask
+// for: the entire module must stay clean under every analyzer, so a
+// stray time.Now or a mutex smuggled onto the hot path fails `go test`
+// as well as the CI lint step.
+func TestRepoCleanUnderFullSuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-module type-check is not short")
+	}
+	l := sharedLoader(t)
+	pkgs, err := l.Load("./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := Run(l.Fset, pkgs, All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}
+
+// TestInjectedWallclockFails drives the ISSUE's acceptance scenario end
+// to end: copy internal/accountability aside, seed a time.Now() into
+// it, and require detwall to reject the package under its real import
+// path.
+func TestInjectedWallclockFails(t *testing.T) {
+	if testing.Short() {
+		t.Skip("copies and re-checks a package")
+	}
+	src := filepath.Join(moduleRoot(t), "internal/accountability")
+	dir := t.TempDir()
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(src, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, name), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	inject := "package accountability\n\nimport \"time\"\n\nfunc injectedStamp() int64 { return time.Now().UnixNano() }\n"
+	if err := os.WriteFile(filepath.Join(dir, "zz_injected.go"), []byte(inject), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l := sharedLoader(t)
+	pkg, err := l.LoadDir(dir, "apna/internal/accountability")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := Run(l.Fset, []*Package{pkg}, []*Analyzer{Detwall})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, d := range diags {
+		if strings.Contains(d.Message, "time.Now") && strings.Contains(d.Pos.Filename, "zz_injected.go") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("detwall did not reject an injected time.Now in accountability; got %v", diags)
+	}
+}
+
+// TestAllAnalyzersRegistered pins the suite composition: a new analyzer
+// must be wired into All() or the CI gate silently loses it.
+func TestAllAnalyzersRegistered(t *testing.T) {
+	want := []string{"detwall", "hotpath", "verifyfirst", "wrapcheck", "nilness", "directives"}
+	got := All()
+	if len(got) != len(want) {
+		t.Fatalf("All() = %d analyzers, want %d", len(got), len(want))
+	}
+	for i, a := range got {
+		if a.Name != want[i] {
+			t.Errorf("All()[%d] = %s, want %s", i, a.Name, want[i])
+		}
+		if a.Doc == "" || a.Run == nil {
+			t.Errorf("%s: incomplete analyzer", a.Name)
+		}
+	}
+}

@@ -1,0 +1,51 @@
+package analysis
+
+import (
+	"path/filepath"
+	"runtime"
+	"testing"
+)
+
+// moduleRoot locates the repo root from this test file's position, so
+// the loader's go command runs in the module whatever the test's CWD.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	_, file, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("no caller info")
+	}
+	return filepath.Clean(filepath.Join(filepath.Dir(file), "..", ".."))
+}
+
+// sharedLoader amortizes stdlib type-checking across the package's
+// tests.
+func sharedLoader(t *testing.T) *Loader {
+	t.Helper()
+	return DefaultLoader(moduleRoot(t))
+}
+
+func TestLoaderTypeChecksModulePackages(t *testing.T) {
+	l := sharedLoader(t)
+	pkgs, err := l.Load("apna/internal/wire", "apna/internal/border")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) != 2 {
+		t.Fatalf("got %d packages, want 2", len(pkgs))
+	}
+	for _, p := range pkgs {
+		if p.Pkg == nil || p.Info == nil || len(p.Files) == 0 {
+			t.Errorf("%s: incomplete package: %+v", p.ImportPath, p)
+		}
+	}
+	// Types must be real: border.Router should have a LookupRoute
+	// method resolved through the from-source stdlib closure.
+	border := pkgs[0]
+	if border.ImportPath != "apna/internal/border" {
+		border = pkgs[1]
+	}
+	obj := border.Pkg.Scope().Lookup("Router")
+	if obj == nil {
+		t.Fatal("border.Router not found in package scope")
+	}
+}

@@ -1,0 +1,19 @@
+// Package meas impersonates measurement-layer code (loaded as
+// apna/example/meas, outside the deterministic set): //apna:wallclock
+// sanctions clock reads, bare reads still report.
+package meas
+
+import "time"
+
+func sanctioned() time.Time {
+	return time.Now() //apna:wallclock
+}
+
+func sanctionedAbove() time.Duration {
+	//apna:wallclock
+	return time.Since(time.Time{})
+}
+
+func bare() time.Time {
+	return time.Now() // want `outside the sanctioned measurement sites`
+}

@@ -1,0 +1,80 @@
+// Package netsim impersonates a deterministic package (the test loads
+// it as apna/internal/netsim): wall-clock reads are banned outright and
+// map iteration must not leak ordering.
+package netsim
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func wallNow() time.Time {
+	return time.Now() // want `time\.Now breaks seeded determinism`
+}
+
+func wallSince(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `time\.Since breaks seeded determinism`
+}
+
+func globalRand() int {
+	return rand.Intn(10) // want `math/rand\.Intn breaks seeded determinism`
+}
+
+// seededRand is the repo's canonical deterministic idiom and must stay
+// legal even here.
+func seededRand(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+func annotatedStillBanned() time.Time {
+	return time.Now() //apna:wallclock // want `//apna:wallclock is not honored here`
+}
+
+type sink interface{ Send(int) }
+
+func leakSend(m map[int]int, ch chan int) {
+	for k := range m {
+		ch <- k // want `channel send inside map iteration`
+	}
+}
+
+func leakEmit(m map[int]int, s sink) {
+	for k := range m {
+		s.Send(k) // want `Send call inside map iteration`
+	}
+}
+
+func leakAppend(m map[int]int) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k) // want `append inside map iteration with no subsequent sort`
+	}
+	return keys
+}
+
+// collectThenSort is the sanctioned idiom: the append's order is erased
+// by the sort that follows.
+func collectThenSort(m map[int]int) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// rebuild mutates only the map itself; no ordering escapes.
+func rebuild(m map[int]int) {
+	for k := range m {
+		delete(m, k)
+	}
+}
+
+// declaredUnordered documents an iteration the heuristics cannot prove
+// order-insensitive.
+func declaredUnordered(m map[int]int, s sink) {
+	for k := range m { //apna:unordered
+		s.Send(k)
+	}
+}

@@ -1,0 +1,51 @@
+// Package nilness exercises the known-nil-dereference check.
+package nilness
+
+type node struct {
+	next  *node
+	value int
+}
+
+func derefInNilBranch(p *int) int {
+	if p == nil {
+		return *p // want `dereference of p`
+	}
+	return *p
+}
+
+func fieldInNilBranch(n *node) int {
+	if n == nil {
+		return n.value // want `field access of n`
+	}
+	return n.value
+}
+
+func elseOfNotNil(s []int) int {
+	if s != nil {
+		return s[0]
+	} else {
+		return s[0] // want `index of s`
+	}
+}
+
+func callNilFunc(fn func() int) int {
+	if fn == nil {
+		return fn() // want `call of fn`
+	}
+	return fn()
+}
+
+func reassignedBeforeUse(fn func() int) int {
+	if fn == nil {
+		fn = func() int { return 0 }
+		return fn()
+	}
+	return fn()
+}
+
+func selectorPath(n *node) int {
+	if n.next == nil {
+		return n.next.value // want `field access of n\.next`
+	}
+	return n.next.value
+}

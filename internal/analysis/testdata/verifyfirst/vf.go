@@ -1,0 +1,72 @@
+// Package accountability impersonates the accountability plane (loaded
+// as apna/internal/accountability): state mutation must follow the
+// dominating signature verification.
+package accountability
+
+// VerifySig stands in for ed25519.Verify / cert.Verify: any *types.Func
+// whose name starts with Verify counts.
+func VerifySig(pub, msg, sig []byte) bool { return len(sig) > 0 }
+
+type engine struct {
+	receipts map[string]bool
+	relayQ   []string
+	strikes  map[string]int
+	notify   chan string
+}
+
+func (e *engine) mutateBeforeVerify(msg, sig []byte) {
+	e.receipts["k"] = true // want `map write before the first signature verification`
+	if !VerifySig(nil, msg, sig) {
+		return
+	}
+}
+
+func (e *engine) enqueueBeforeVerify(msg, sig []byte) {
+	e.relayQ = append(e.relayQ, "m") // want `append to struct field \(enqueue\) before the first signature verification`
+	_ = VerifySig(nil, msg, sig)
+}
+
+func (e *engine) strikeBeforeVerify(msg, sig []byte) {
+	e.strikes["as"]++ // want `map write before the first signature verification`
+	_ = VerifySig(nil, msg, sig)
+}
+
+func (e *engine) sendBeforeVerify(msg, sig []byte) {
+	e.notify <- "m" // want `channel send before the first signature verification`
+	_ = VerifySig(nil, msg, sig)
+}
+
+func (e *engine) deleteBeforeVerify(msg, sig []byte) {
+	delete(e.receipts, "k") // want `map delete before the first signature verification`
+	_ = VerifySig(nil, msg, sig)
+}
+
+// mutateAfterVerify is the verify-before-trust shape: clean.
+func (e *engine) mutateAfterVerify(msg, sig []byte) {
+	if !VerifySig(nil, msg, sig) {
+		return
+	}
+	e.receipts["k"] = true
+	e.relayQ = append(e.relayQ, "m")
+}
+
+// noVerify performs no verification; the obligation sits with its
+// caller and the function is skipped.
+func (e *engine) noVerify() {
+	e.receipts["k"] = true
+}
+
+// probeCache mutates first by design (idempotency probe) and says so.
+//
+//apna:verify-exempt
+func (e *engine) probeCache(msg, sig []byte) {
+	e.receipts["probe"] = true
+	_ = VerifySig(nil, msg, sig)
+}
+
+// localScratch appends into a local: harmless, not an enqueue.
+func (e *engine) localScratch(msg, sig []byte) {
+	var scratch []string
+	scratch = append(scratch, "m")
+	_ = VerifySig(nil, msg, append(sig, scratch[0]...))
+}

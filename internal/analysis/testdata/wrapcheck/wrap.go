@@ -1,0 +1,43 @@
+// Package wraptest exercises the %w error-chaining convention (loaded
+// as apna/internal/wraptest; a second load as apna/example/wraptest
+// must stay silent).
+package wraptest
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errSentinel = errors.New("sentinel")
+
+func flattenV(err error) error {
+	return fmt.Errorf("ctx: %v", err) // want `error flattened with %v severs the errors\.Is/As chain`
+}
+
+func flattenS(err error) error {
+	return fmt.Errorf("ctx: %s", err) // want `error flattened with %s severs the errors\.Is/As chain`
+}
+
+func wrapped(err error) error {
+	return fmt.Errorf("ctx: %w", err)
+}
+
+func doubleWrapped(err error) error {
+	return fmt.Errorf("%w: %w", errSentinel, err)
+}
+
+func typeOnly(err error) error {
+	return fmt.Errorf("unexpected error type %T", err)
+}
+
+func stringified(err error) error {
+	return fmt.Errorf("ctx: %s", err.Error()) // want `err\.Error\(\) passed to fmt\.Errorf`
+}
+
+func mixedPositions(err error) error {
+	return fmt.Errorf("op %s failed: %v", "name", err) // want `error flattened with %v`
+}
+
+func nonError() error {
+	return fmt.Errorf("count %v is out of range", 7)
+}

@@ -50,7 +50,7 @@ func (s Store) Save(raws [][]byte) error {
 		return fmt.Errorf("benchgate: nothing to save")
 	}
 	arts := make([]*Artifact, 0, len(raws))
-	stored := storedBaseline{SavedAt: time.Now().UTC().Format(time.RFC3339)}
+	stored := storedBaseline{SavedAt: time.Now().UTC().Format(time.RFC3339)} //apna:wallclock
 	for i, raw := range raws {
 		art, err := ParseArtifact(raw)
 		if err != nil {

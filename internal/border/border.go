@@ -398,6 +398,8 @@ func (r *Router) DeliverToHost(hid ephid.HID, frame []byte) bool {
 // the current table snapshot, without sending anything. It is the
 // transit-stage primitive the parallel forwarding engine drives
 // directly (one table lookup per packet, lock-free).
+//
+//apna:hotpath
 func (r *Router) LookupRoute(dst ephid.AID) (*netsim.Port, bool) {
 	t := r.tables.Load()
 	nh, ok := t.routes[dst]

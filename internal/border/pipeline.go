@@ -77,6 +77,8 @@ func (r *Router) NewEgressPipeline() *EgressPipeline {
 
 // Process runs the outgoing-packet checks of Figure 4 (bottom) on one
 // frame.
+//
+//apna:hotpath
 func (p *EgressPipeline) Process(frame []byte) Verdict {
 	return p.process(frame, p.r.now())
 }
@@ -100,7 +102,7 @@ func (p *EgressPipeline) process(frame []byte, now int64) Verdict {
 		return VerdictDropUnknownHost
 	}
 	entry, ok := p.macs[pl.HID]
-	if !ok || entry.key != macKey {
+	if !ok || entry.key != macKey { //apna:coldpath
 		pm, err := wire.NewPacketMAC(macKey[:])
 		if err != nil {
 			return VerdictDropBadMAC
@@ -120,14 +122,16 @@ func (p *EgressPipeline) process(frame []byte, now int64) Verdict {
 // CMAC key-schedule caches turn repeated senders within the batch into
 // pure lookups. With cap(dst) >= len(dst)+len(frames) the call does not
 // allocate.
+//
+//apna:hotpath
 func (p *EgressPipeline) ProcessBatch(frames [][]byte, dst []Verdict) []Verdict {
 	now := p.r.now()
 	for _, frame := range frames {
 		if !wire.ValidFrame(frame) {
-			dst = append(dst, VerdictDropMalformed)
+			dst = append(dst, VerdictDropMalformed) //apna:alloc-ok
 			continue
 		}
-		dst = append(dst, p.process(frame, now))
+		dst = append(dst, p.process(frame, now)) //apna:alloc-ok
 	}
 	return dst
 }
@@ -159,6 +163,8 @@ func (r *Router) NewIngressPipeline() *IngressPipeline {
 
 // Process runs the incoming-packet checks on one frame, returning the
 // verdict and the destination HID on success.
+//
+//apna:hotpath
 func (p *IngressPipeline) Process(frame []byte) (Verdict, ephid.HID) {
 	res := p.process(frame, p.r.now())
 	return res.Verdict, res.HID
@@ -188,14 +194,16 @@ func (p *IngressPipeline) process(frame []byte, now int64) IngressResult {
 // ProcessBatch runs the ingress checks over a batch of frames, appending
 // one result per frame to dst and returning the extended slice. With
 // cap(dst) >= len(dst)+len(frames) the call does not allocate.
+//
+//apna:hotpath
 func (p *IngressPipeline) ProcessBatch(frames [][]byte, dst []IngressResult) []IngressResult {
 	now := p.r.now()
 	for _, frame := range frames {
 		if !wire.ValidFrame(frame) {
-			dst = append(dst, IngressResult{Verdict: VerdictDropMalformed})
+			dst = append(dst, IngressResult{Verdict: VerdictDropMalformed}) //apna:alloc-ok
 			continue
 		}
-		dst = append(dst, p.process(frame, now))
+		dst = append(dst, p.process(frame, now)) //apna:alloc-ok
 	}
 	return dst
 }

@@ -109,6 +109,8 @@ func (l *RevocationList) Insert(e ephid.EphID, expTime uint32) {
 }
 
 // Contains reports whether e is revoked. Lock-free.
+//
+//apna:hotpath
 func (l *RevocationList) Contains(e ephid.EphID) bool {
 	_, ok := l.m.snapshot(revShardFor(e))[e]
 	return ok
@@ -240,6 +242,8 @@ func (l *RemoteRevocationList) Insert(e ephid.EphID, origin ephid.AID, expTime u
 // Matches reports whether e was announced revoked by srcAID — the
 // per-packet ingress check: a frame is dropped only when the AS it
 // claims as source has itself revoked the identifier. Lock-free.
+//
+//apna:hotpath
 func (l *RemoteRevocationList) Matches(e ephid.EphID, srcAID ephid.AID) bool {
 	_, ok := l.m.snapshot(revShardFor(e))[remoteKey{e: e, origin: srcAID}]
 	return ok
@@ -248,6 +252,8 @@ func (l *RemoteRevocationList) Matches(e ephid.EphID, srcAID ephid.AID) bool {
 // Contains reports whether e was announced revoked by *any* origin —
 // a diagnostics/test helper (the data plane uses Matches). It scans
 // one shard.
+//
+//apna:hotpath
 func (l *RemoteRevocationList) Contains(e ephid.EphID) bool {
 	for k := range l.m.snapshot(revShardFor(e)) {
 		if k.e == e {

@@ -37,7 +37,7 @@ func (c *CBCMAC) BlockSize() int { return aes.BlockSize }
 // would silently re-introduce the length-extension weakness of CBC-MAC.
 func (c *CBCMAC) Tag(dst *[aes.BlockSize]byte, msg []byte) {
 	if len(msg) != aes.BlockSize {
-		panic(fmt.Sprintf("crypto: CBC-MAC input must be exactly %d bytes, got %d", aes.BlockSize, len(msg)))
+		panic(fmt.Sprintf("crypto: CBC-MAC input must be exactly %d bytes, got %d", aes.BlockSize, len(msg))) //apna:coldpath
 	}
 	c.block.Encrypt(dst[:], msg)
 }

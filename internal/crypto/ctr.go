@@ -42,7 +42,7 @@ func (b *BlockCipher) XORKeystream(data []byte, counter *[aes.BlockSize]byte) {
 // cipher.Block interface call).
 func (b *BlockCipher) XORKeystreamInto(data []byte, counter, ks *[aes.BlockSize]byte) {
 	if len(data) > aes.BlockSize {
-		panic(fmt.Sprintf("crypto: XORKeystream input %d exceeds one block", len(data)))
+		panic(fmt.Sprintf("crypto: XORKeystream input %d exceeds one block", len(data))) //apna:coldpath
 	}
 	b.block.Encrypt(ks[:], counter[:])
 	for i := range data {

@@ -179,7 +179,7 @@ func Run(w *pktgen.World, cfg Config) (*Report, error) {
 	}
 
 	var wg sync.WaitGroup
-	start := time.Now()
+	start := time.Now() //apna:wallclock
 	for _, wk := range ws {
 		wg.Add(1)
 		go func(wk *worker) {
@@ -188,7 +188,7 @@ func Run(w *pktgen.World, cfg Config) (*Report, error) {
 		}(wk)
 	}
 	wg.Wait()
-	elapsed := time.Since(start)
+	elapsed := time.Since(start) //apna:wallclock
 
 	return aggregate(ws, w, workers, batch, elapsed), nil
 }
@@ -212,9 +212,9 @@ func (wk *worker) run(budget, batch int) {
 		wk.packets += uint64(len(frames))
 
 		// Stage 1: egress verification at the source AS.
-		t0 := time.Now()
+		t0 := time.Now() //apna:wallclock
 		wk.egressOut = lane.egress.ProcessBatch(frames, wk.egressOut[:0])
-		t1 := time.Now()
+		t1 := time.Now() //apna:wallclock
 		wk.ingressIn = wk.ingressIn[:0]
 		for i, v := range wk.egressOut {
 			wk.verdicts[v]++
@@ -224,7 +224,7 @@ func (wk *worker) run(budget, batch int) {
 		}
 
 		// Stage 2: transit route lookup toward the destination AID.
-		t2 := time.Now()
+		t2 := time.Now() //apna:wallclock
 		routed := wk.ingressIn[:0]
 		for _, frame := range wk.ingressIn {
 			if _, ok := lane.src.LookupRoute(wire.FrameDstAID(frame)); !ok {
@@ -233,11 +233,11 @@ func (wk *worker) run(budget, batch int) {
 			}
 			routed = append(routed, frame)
 		}
-		t3 := time.Now()
+		t3 := time.Now() //apna:wallclock
 
 		// Stage 3: ingress verification at the destination AS.
 		wk.ingressOut = lane.ingress.ProcessBatch(routed, wk.ingressOut[:0])
-		t4 := time.Now()
+		t4 := time.Now() //apna:wallclock
 		for _, res := range wk.ingressOut {
 			wk.verdicts[res.Verdict]++
 			if res.Verdict == border.VerdictForward {

@@ -124,6 +124,8 @@ var openScratchPool = sync.Pool{New: func() any { return new(openScratch) }}
 // Open does not check expiration; border routers and services check it
 // against their own clock (see Payload.Expired) so that the decision
 // uses one consistent notion of time per call site.
+//
+//apna:hotpath
 func (s *Sealer) Open(e EphID) (Payload, error) {
 	sc := openScratchPool.Get().(*openScratch)
 	p, err := s.openWith(e, sc)

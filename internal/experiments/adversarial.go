@@ -123,7 +123,7 @@ func RunE7(cfg AdversarialConfig) (*E7Result, error) {
 	if len(cfg.Seeds) == 0 {
 		return nil, fmt.Errorf("experiments: adversarial scenario needs at least one seed")
 	}
-	start := time.Now()
+	start := time.Now() //apna:wallclock
 	res := &E7Result{Config: cfg, OK: true}
 	for _, seed := range cfg.Seeds {
 		v, err := runE7Seed(cfg, seed)
@@ -133,7 +133,7 @@ func RunE7(cfg AdversarialConfig) (*E7Result, error) {
 		res.OK = res.OK && v.OK
 		res.Verdicts = append(res.Verdicts, *v)
 	}
-	res.WallElapsed = time.Since(start)
+	res.WallElapsed = time.Since(start) //apna:wallclock
 	return res, nil
 }
 

@@ -179,7 +179,7 @@ func RunE10(cfg E10Config) (*E10Result, error) {
 	if len(cfg.Seeds) == 0 {
 		return nil, fmt.Errorf("experiments: e10 needs at least one seed")
 	}
-	start := time.Now()
+	start := time.Now() //apna:wallclock
 	res := &E10Result{Config: cfg, Provenance: provenance.Collect(cfg.Seeds[0], cfg), OK: true}
 	for _, seed := range cfg.Seeds {
 		v, err := runE10Seed(cfg, seed)
@@ -189,7 +189,7 @@ func RunE10(cfg E10Config) (*E10Result, error) {
 		res.OK = res.OK && v.OK
 		res.Verdicts = append(res.Verdicts, *v)
 	}
-	res.WallElapsed = time.Since(start)
+	res.WallElapsed = time.Since(start) //apna:wallclock
 	return res, nil
 }
 

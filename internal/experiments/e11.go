@@ -86,7 +86,7 @@ func RunE11(cfg E11Config) (*E11Result, error) {
 	if len(cfg.Tiers) == 0 || cfg.Ticks <= 0 || cfg.P99BoundMs <= 0 {
 		return nil, fmt.Errorf("experiments: e11 needs tiers, ticks and a p99 bound, got %+v", cfg)
 	}
-	start := time.Now()
+	start := time.Now() //apna:wallclock
 	res := &E11Result{
 		Experiment: "e11",
 		Provenance: provenance.Collect(cfg.Seed, cfg),
@@ -128,7 +128,7 @@ func RunE11(cfg E11Config) (*E11Result, error) {
 		res.OK = res.OK && tier.OK
 		res.Tiers = append(res.Tiers, tier)
 	}
-	res.WallElapsed = time.Since(start)
+	res.WallElapsed = time.Since(start) //apna:wallclock
 	return res, nil
 }
 

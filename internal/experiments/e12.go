@@ -745,7 +745,7 @@ func RunE12(cfg E12Config) (*E12Result, error) {
 	if cfg.SnapshotEvery <= cfg.Ticks {
 		return nil, fmt.Errorf("experiments: e12 needs SnapshotEvery > Ticks (%d ≤ %d) so the steady state is delta-only", cfg.SnapshotEvery, cfg.Ticks)
 	}
-	start := time.Now()
+	start := time.Now() //apna:wallclock
 	res := &E12Result{
 		Experiment: "e12",
 		Provenance: provenance.Collect(cfg.Seed, cfg),
@@ -762,7 +762,7 @@ func RunE12(cfg E12Config) (*E12Result, error) {
 		return nil, err
 	}
 	res.OK = res.Relay.OK && res.Mesh.OK && res.Equivalence.OK
-	res.WallElapsed = time.Since(start)
+	res.WallElapsed = time.Since(start) //apna:wallclock
 	return res, nil
 }
 

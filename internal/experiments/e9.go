@@ -163,7 +163,7 @@ func RunE9(cfg E9Config) (*E9Result, error) {
 	if len(cfg.Seeds) == 0 {
 		return nil, fmt.Errorf("experiments: e9 needs at least one seed")
 	}
-	start := time.Now()
+	start := time.Now() //apna:wallclock
 	res := &E9Result{Config: cfg, Provenance: provenance.Collect(cfg.Seeds[0], cfg), OK: true}
 	for _, seed := range cfg.Seeds {
 		v, err := runE9Seed(cfg, seed)
@@ -173,7 +173,7 @@ func RunE9(cfg E9Config) (*E9Result, error) {
 		res.OK = res.OK && v.OK
 		res.Verdicts = append(res.Verdicts, *v)
 	}
-	res.WallElapsed = time.Since(start)
+	res.WallElapsed = time.Since(start) //apna:wallclock
 	return res, nil
 }
 

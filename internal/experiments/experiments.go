@@ -84,7 +84,7 @@ func RunE1(requests, workers, peakDemand int) (*E1Result, error) {
 	}
 	per := requests / workers
 	var wg sync.WaitGroup
-	start := time.Now()
+	start := time.Now() //apna:wallclock
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
@@ -97,7 +97,7 @@ func RunE1(requests, workers, peakDemand int) (*E1Result, error) {
 		}(w)
 	}
 	wg.Wait()
-	elapsed := time.Since(start)
+	elapsed := time.Since(start) //apna:wallclock
 	total := per * workers
 
 	res := &E1Result{

@@ -75,7 +75,7 @@ func RunE6(cfg ScenarioConfig) (*ScenarioResult, error) {
 	if cfg.ASes < 2 || cfg.HostsPerAS < 1 || cfg.FlowsPerHost < 1 {
 		return nil, fmt.Errorf("experiments: scenario needs >=2 ASes, >=1 host and flow each, got %+v", cfg)
 	}
-	start := time.Now()
+	start := time.Now() //apna:wallclock
 
 	const firstAID = apna.AID(100)
 	topo := []apna.TopologyOption{apna.WithFullMesh(firstAID, cfg.ASes, cfg.LinkLatency)}
@@ -210,7 +210,7 @@ func RunE6(cfg ScenarioConfig) (*ScenarioResult, error) {
 	}
 	res.VirtualElapsed = in.Sim.Now() - virtualStart
 	res.Events = in.Sim.Events()
-	res.WallElapsed = time.Since(start)
+	res.WallElapsed = time.Since(start) //apna:wallclock
 	return res, nil
 }
 

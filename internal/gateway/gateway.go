@@ -168,7 +168,7 @@ func (g *Gateway) HandleIPv4(pkt []byte) error {
 	var ip wire.IPv4Header
 	if err := ip.DecodeFromBytes(pkt); err != nil {
 		g.Untranslatable++
-		return fmt.Errorf("%w: %v", ErrNotIPv4, err)
+		return fmt.Errorf("%w: %w", ErrNotIPv4, err)
 	}
 	if int(ip.TotalLen) != len(pkt) || len(pkt) < wire.IPv4HeaderSize+4 {
 		g.Untranslatable++

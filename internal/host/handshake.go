@@ -54,7 +54,7 @@ func decodeHandshake(data []byte) (*handshakeMsg, error) {
 	var m handshakeMsg
 	m.flags = data[0]
 	if err := m.cert.UnmarshalBinary(data[1 : 1+cert.Size]); err != nil {
-		return nil, fmt.Errorf("%w: %v", errBadHandshake, err)
+		return nil, fmt.Errorf("%w: %w", errBadHandshake, err)
 	}
 	n := int(binary.BigEndian.Uint16(data[1+cert.Size:]))
 	rest := data[1+cert.Size+2:]

@@ -393,10 +393,10 @@ func (h *Host) verifyPeerCert(c *cert.Cert, srcAID ephid.AID, srcEphID ephid.Eph
 	}
 	key, err := h.cfg.Trust.SigKey(c.AID, h.cfg.Now())
 	if err != nil {
-		return fmt.Errorf("%w: %v", ErrBadPeerCert, err)
+		return fmt.Errorf("%w: %w", ErrBadPeerCert, err)
 	}
 	if err := c.Verify(key, h.cfg.Now()); err != nil {
-		return fmt.Errorf("%w: %v", ErrBadPeerCert, err)
+		return fmt.Errorf("%w: %w", ErrBadPeerCert, err)
 	}
 	return nil
 }

@@ -234,6 +234,8 @@ func (db *DB) Get(hid ephid.HID) (Entry, error) {
 // border router's per-packet lookup: unknown and revoked HIDs fail,
 // which is exactly the "HID is valid" check of Figure 4. The lookup is
 // lock-free.
+//
+//apna:hotpath
 func (db *DB) MACKey(hid ephid.HID) ([crypto.SymKeySize]byte, error) {
 	e := db.get(hid)
 	if e == nil {
@@ -247,6 +249,8 @@ func (db *DB) MACKey(hid ephid.HID) ([crypto.SymKeySize]byte, error) {
 
 // EncKey returns the control-message encryption key for an active host
 // (used by the MS to decrypt EphID requests, Figure 3). Lock-free.
+//
+//apna:hotpath
 func (db *DB) EncKey(hid ephid.HID) ([crypto.SymKeySize]byte, error) {
 	e := db.get(hid)
 	if e == nil {
@@ -259,6 +263,8 @@ func (db *DB) EncKey(hid ephid.HID) ([crypto.SymKeySize]byte, error) {
 }
 
 // Valid reports whether hid is registered and not revoked. Lock-free.
+//
+//apna:hotpath
 func (db *DB) Valid(hid ephid.HID) bool {
 	e := db.get(hid)
 	return e != nil && e.Status == StatusActive

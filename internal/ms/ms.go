@@ -246,7 +246,7 @@ func (s *Service) RenewDenied() uint64 { return s.renewDenied.Load() }
 func (s *Service) checkRenewal(hid ephid.HID, req *Request, now int64) error {
 	pp, err := s.sealer.Open(req.Prev)
 	if err != nil {
-		return fmt.Errorf("%w: %v", ErrBadEphID, err)
+		return fmt.Errorf("%w: %w", ErrBadEphID, err)
 	}
 	if pp.HID != hid {
 		return ErrForeignPrev
@@ -303,7 +303,7 @@ func (s *Service) HandleRequest(srcEphID ephid.EphID, ciphertext []byte) ([]byte
 	// (HID, T1) = Dec(kA, EphID_ctrl); abort on forgery or expiry.
 	p, err := s.sealer.Open(srcEphID)
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadEphID, err)
+		return nil, fmt.Errorf("%w: %w", ErrBadEphID, err)
 	}
 	if p.Expired(now) {
 		return nil, ErrExpiredEphID
@@ -312,7 +312,7 @@ func (s *Service) HandleRequest(srcEphID ephid.EphID, ciphertext []byte) ([]byte
 	// HID must be registered and not revoked.
 	encKey, err := s.db.EncKey(p.HID)
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrUnknownHost, err)
+		return nil, fmt.Errorf("%w: %w", ErrUnknownHost, err)
 	}
 
 	// Decrypt and parse the request.

@@ -154,7 +154,7 @@ func (f *Fixture) Run(workers, packetsPerWorker int, capacityGbps float64) Resul
 	var processed atomic.Uint64
 	var bad atomic.Uint64
 	var wg sync.WaitGroup
-	start := time.Now()
+	start := time.Now() //apna:wallclock
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
@@ -173,7 +173,7 @@ func (f *Fixture) Run(workers, packetsPerWorker int, capacityGbps float64) Resul
 		}(w)
 	}
 	wg.Wait()
-	elapsed := time.Since(start)
+	elapsed := time.Since(start) //apna:wallclock
 
 	frameSize := len(f.Frames[0])
 	pps := float64(processed.Load()) / elapsed.Seconds()

@@ -441,7 +441,7 @@ func (wk *worker) renewals(t int, now int64) {
 		if s.busyUntil <= now {
 			continue // flow ended; let the identifier lapse
 		}
-		t0 := time.Now()
+		t0 := time.Now() //apna:wallclock
 		c, err := wk.w.issue(h, wk.cfg.EphIDLifetime, &s.id)
 		if errors.Is(err, ms.ErrRenewRateLimited) {
 			// Denied renewals fall back to plain issuance, which the
@@ -451,7 +451,7 @@ func (wk *worker) renewals(t int, now int64) {
 			wk.rec(t, evRenewDenied, h.hid)
 			c, err = wk.w.issue(h, wk.cfg.EphIDLifetime, nil)
 		}
-		wk.renew.add(float64(time.Since(t0).Nanoseconds()) / 1e3)
+		wk.renew.add(float64(time.Since(t0).Nanoseconds()) / 1e3) //apna:wallclock
 		if err != nil {
 			wk.c.errNoEphID++
 			wk.rec(t, evNoEphID, h.hid)
@@ -533,9 +533,9 @@ func (wk *worker) arrivals(t int, now int64) {
 			wk.rec(t, evPoolHit, h.hid)
 			continue
 		}
-		t0 := time.Now()
+		t0 := time.Now() //apna:wallclock
 		c, err := wk.w.issue(h, wk.cfg.EphIDLifetime, nil)
-		wk.issue.add(float64(time.Since(t0).Nanoseconds()) / 1e3)
+		wk.issue.add(float64(time.Since(t0).Nanoseconds()) / 1e3) //apna:wallclock
 		if err != nil {
 			wk.c.errNoEphID++
 			wk.rec(t, evNoEphID, h.hid)
@@ -617,7 +617,7 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	retention := int64(cfg.EphIDLifetime)
-	t0 := time.Now()
+	t0 := time.Now() //apna:wallclock
 	for t := 0; t < cfg.Ticks; t++ {
 		w.clock.Store(startTime + int64(t))
 		tickWG.Add(cfg.Workers)
@@ -631,9 +631,9 @@ func Run(cfg Config) (*Result, error) {
 			comp.cycle(now)
 		}
 		if cfg.GCEvery > 0 && t%cfg.GCEvery == cfg.GCEvery-1 {
-			g0 := time.Now()
+			g0 := time.Now() //apna:wallclock
 			res.GCReaped += w.db.GC(now, retention)
-			pause := float64(time.Since(g0).Nanoseconds()) / 1e3
+			pause := float64(time.Since(g0).Nanoseconds()) / 1e3 //apna:wallclock
 			res.GCRuns++
 			res.GCTotalPauseUs += pause
 			if pause > res.GCMaxPauseUs {
@@ -645,7 +645,7 @@ func Run(cfg Config) (*Result, error) {
 			res.DigestFlushes++
 		}
 	}
-	elapsed := time.Since(t0)
+	elapsed := time.Since(t0) //apna:wallclock
 	for i := range start {
 		close(start[i])
 	}
@@ -806,9 +806,9 @@ func (cp *complainer) cycle(now int64) {
 	sr.Sign(cp.w.victimASSigner)
 	raw := sr.Encode()
 
-	t0 := time.Now()
+	t0 := time.Now() //apna:wallclock
 	r, err := cp.w.acct.HandleShutoffRequest(raw)
-	cp.lat.add(float64(time.Since(t0).Nanoseconds()) / 1e3)
+	cp.lat.add(float64(time.Since(t0).Nanoseconds()) / 1e3) //apna:wallclock
 	cp.complaints++
 	if err != nil {
 		cp.status["error"]++

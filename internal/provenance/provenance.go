@@ -67,7 +67,7 @@ func Collect(seed int64, config any) Block {
 		OS:        runtime.GOOS,
 		Arch:      runtime.GOARCH,
 		CPUs:      runtime.NumCPU(),
-		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		Timestamp: time.Now().UTC().Format(time.RFC3339), //apna:wallclock
 	}
 	b.Commit, b.Dirty = commit()
 	if raw, err := json.Marshal(config); err == nil {

@@ -256,7 +256,7 @@ func (s *Service) Bootstrap(credential, hostPub []byte) (*BootstrapResult, error
 	}
 	secret, err := s.dh.SharedSecret(hostPub)
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadHostKey, err)
+		return nil, fmt.Errorf("%w: %w", ErrBadHostKey, err)
 	}
 	keys := crypto.DeriveHostASKeys(secret)
 

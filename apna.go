@@ -311,6 +311,23 @@ func (in *Internet) Build() error {
 			a.Acct.RegisterNeighbor(nb, aaEp.EphID)
 		}
 	}
+	// DNS delegation: every AS's resolver learns a signed referral for
+	// every other AS's apex, carrying the remote resolver's certificate
+	// and zone key under the local zone's signature — the DNSSEC-style
+	// chain a resolving host walks for cross-AS names (Section VII-A).
+	refTTL := in.Sim.NowUnix() + 10*365*24*3600
+	for _, a := range in.ases {
+		for _, b := range in.ases {
+			if a == b {
+				continue
+			}
+			ref, err := a.Zone.Refer(b.Zone.Apex(), &b.dnsID.Cert, b.Zone.PublicKey(), refTTL)
+			if err != nil {
+				return err
+			}
+			a.dnsSvc.AddReferral(ref)
+		}
+	}
 	in.built = true
 	return nil
 }

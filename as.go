@@ -37,6 +37,10 @@ type AS struct {
 	Router *border.Router
 	// DB is the AS's host_info database.
 	DB *hostdb.DB
+	// Zone is the AS's authoritative DNS zone (apex "as<AID>"): local
+	// services publish under it, other ASes reach it through signed
+	// referrals (Section VII-A).
+	Zone *dns.Zone
 
 	in     *Internet
 	secret *crypto.ASSecret
@@ -49,6 +53,8 @@ type AS struct {
 	aaID, msID, dnsID, rtrID *registry.ServiceIdentity
 	msHost, dnsHost          *host.Host
 	aaHost, rtrHost          *host.Host
+
+	dnsSvc *dns.Service
 }
 
 // serviceLifetime is how long AS-internal service EphIDs live.
@@ -79,9 +85,14 @@ func (in *Internet) AddAS(aid AID) (*AS, error) {
 	}
 	now := in.Sim.NowUnix
 
+	zone, err := dns.NewZoneFor(fmt.Sprintf("as%d", uint32(aid)))
+	if err != nil {
+		return nil, err
+	}
 	as := &AS{
 		AID: aid, in: in, secret: secret, sealer: sealer, signer: signer, dhKey: dhKey,
 		DB:    hostdb.New(),
+		Zone:  zone,
 		creds: registry.CredentialTable{},
 	}
 
@@ -182,12 +193,18 @@ func (as *AS) mountServices() error {
 			wire.Endpoint{AID: hdr.SrcAID, EphID: hdr.SrcEphID}, reply)
 	})
 
-	// DNS: ordinary session service answering queries from the shared
-	// zone.
+	// DNS: ordinary session service. Names under the AS's own apex are
+	// answered from its authoritative zone, delegated apexes via signed
+	// referral (installed in Build, once every AS exists), and the rest
+	// from the shared root zone; misses get signed denials stamped on
+	// the virtual clock.
 	if as.dnsHost, err = as.serviceHost(as.dnsID, "dns"); err != nil {
 		return err
 	}
-	dns.NewService(as.in.Zone).Mount(as.dnsHost)
+	as.dnsSvc = dns.NewService(as.in.Zone)
+	as.dnsSvc.SetLocal(as.Zone)
+	as.dnsSvc.SetNow(as.in.Sim.NowUnix)
+	as.dnsSvc.Mount(as.dnsHost)
 
 	// AA: answers ProtoShutoff requests with a one-byte status.
 	if as.aaHost, err = as.serviceHost(as.aaID, "aa"); err != nil {

@@ -12,8 +12,18 @@
 // one AS's control plane. E7, E9 and E10 emit a JSON verdict per seed;
 // E11 emits a single JSON object with a provenance block.
 //
+// With -file the command instead runs a declarative scenario spec
+// (internal/scenario): the whole run — topology, attackers, chaos,
+// phases, invariants, bounds — comes from a JSON file, every chaotic
+// decision is captured as a replayable fault schedule (-record), and a
+// recorded schedule replays bit-exactly (-replay).
+//
 // The -seed flag (and for E7/E9/E10 -seeds, the sweep width) makes
 // runs reproducible and sweepable from CI.
+//
+// Exit codes are uniform across every mode: 0 when the run met its
+// gate (bounds, invariants, promised work), 2 on a gate failure, 1 on
+// usage or internal errors.
 //
 // Usage:
 //
@@ -26,50 +36,79 @@
 //	apna-scenario -exp e10 -digest 5s -json # inter-domain accountability
 //	apna-scenario -exp e11 -json            # population ramp 10^3→10^6
 //	apna-scenario -exp e11 -e11-full -json  # extend the ramp to 10^7
+//	apna-scenario -file scenarios/e7.json -json          # declarative run
+//	apna-scenario -file s.json -record sched.json        # capture faults
+//	apna-scenario -file s.json -replay sched.json        # replay bit-exactly
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
 	"apna/internal/experiments"
+	"apna/internal/scenario"
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
 	def := experiments.DefaultScenario()
 	adv := experiments.DefaultAdversarial()
 	endur := experiments.DefaultE9()
 	acct := experiments.DefaultE10()
 	pop := experiments.DefaultE11()
+	fs := flag.NewFlagSet("apna-scenario", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		exp         = flag.String("exp", "e6", "scenario: e6 (concurrent), e7 (adversarial conformance), e9 (lifecycle endurance), e10 (inter-domain accountability) or e11 (population ramp)")
-		ases        = flag.Int("ases", def.ASes, "number of ASes (full mesh)")
-		hosts       = flag.Int("hosts", def.HostsPerAS, "hosts per AS")
-		flows       = flag.Int("flows", def.FlowsPerHost, "flows dialed per host")
-		messages    = flag.Int("messages", def.MessagesPerFlow, "data waves per flow")
-		shutoffs    = flag.Int("shutoffs", def.Shutoffs, "flows revoked mid-traffic")
-		latency     = flag.Duration("latency", def.LinkLatency, "one-way inter-AS latency")
-		seed        = flag.Int64("seed", def.Seed, "simulation seed (E7: sweep base)")
-		seeds       = flag.Int("seeds", len(adv.Seeds), "E7/E9: seeds in the sweep (seed, seed+1, ...)")
-		adversaries = flag.Int("adversaries", adv.Adversaries, "E7/E9: number of attackers")
-		jsonOut     = flag.Bool("json", false, "E7/E9: emit one JSON verdict per seed")
-		windows     = flag.Int("windows", endur.Windows, "E9: EphID validity windows to cross")
-		ephidLife   = flag.Uint("ephid-life", uint(endur.EphIDLifetime), "E9: client EphID lifetime in seconds")
-		digest      = flag.Duration("digest", acct.DigestInterval, "E10: revocation-digest dissemination interval")
-		popTicks    = flag.Int("pop-ticks", pop.Ticks, "E11: virtual ticks per population tier")
-		popWorkers  = flag.Int("pop-workers", 0, "E11: population workers (0: all cores)")
-		p99Bound    = flag.Float64("p99-bound", pop.P99BoundMs, "E11: issuance p99 gate in milliseconds")
-		e11Full     = flag.Bool("e11-full", false, "E11: extend the ramp to 10^7 modeled hosts")
+		exp         = fs.String("exp", "e6", "scenario: e6 (concurrent), e7 (adversarial conformance), e9 (lifecycle endurance), e10 (inter-domain accountability) or e11 (population ramp)")
+		file        = fs.String("file", "", "declarative scenario spec (JSON); overrides -exp")
+		record      = fs.String("record", "", "with -file: write the captured fault schedule here")
+		replayPath  = fs.String("replay", "", "with -file: replay this recorded fault schedule")
+		ases        = fs.Int("ases", def.ASes, "number of ASes (full mesh)")
+		hosts       = fs.Int("hosts", def.HostsPerAS, "hosts per AS")
+		flows       = fs.Int("flows", def.FlowsPerHost, "flows dialed per host")
+		messages    = fs.Int("messages", def.MessagesPerFlow, "data waves per flow")
+		shutoffs    = fs.Int("shutoffs", def.Shutoffs, "flows revoked mid-traffic")
+		latency     = fs.Duration("latency", def.LinkLatency, "one-way inter-AS latency")
+		seed        = fs.Int64("seed", def.Seed, "simulation seed (E7: sweep base; -file: spec override)")
+		seeds       = fs.Int("seeds", len(adv.Seeds), "E7/E9: seeds in the sweep (seed, seed+1, ...)")
+		adversaries = fs.Int("adversaries", adv.Adversaries, "E7/E9: number of attackers")
+		jsonOut     = fs.Bool("json", false, "E7/E9: emit one JSON verdict per seed; -file: emit the verdict object")
+		windows     = fs.Int("windows", endur.Windows, "E9: EphID validity windows to cross")
+		ephidLife   = fs.Uint("ephid-life", uint(endur.EphIDLifetime), "E9: client EphID lifetime in seconds")
+		digest      = fs.Duration("digest", acct.DigestInterval, "E10: revocation-digest dissemination interval")
+		popTicks    = fs.Int("pop-ticks", pop.Ticks, "E11: virtual ticks per population tier")
+		popWorkers  = fs.Int("pop-workers", 0, "E11: population workers (0: all cores)")
+		p99Bound    = fs.Float64("p99-bound", pop.P99BoundMs, "E11: issuance p99 gate in milliseconds")
+		e11Full     = fs.Bool("e11-full", false, "E11: extend the ramp to 10^7 modeled hosts")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
 
 	// Which flags were set explicitly: E7 and E9 keep their own
 	// defaults (comparable to apna-bench and the CI gates) unless a
 	// sizing flag was given.
 	set := make(map[string]bool)
-	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+
+	fatal := func(err error) int {
+		fmt.Fprintln(stderr, "apna-scenario:", err)
+		return 1
+	}
+	gate := func(what string) int {
+		fmt.Fprintf(stderr, "apna-scenario: %s\n", what)
+		return 2
+	}
+
+	if *file != "" {
+		return runSpecFile(*file, *record, *replayPath, *seed, set["seed"], *jsonOut, stdout, stderr)
+	}
 
 	start := time.Now() //apna:wallclock
 	switch *exp {
@@ -81,9 +120,11 @@ func main() {
 		}
 		res, err := experiments.RunE6(cfg)
 		if err != nil {
-			fatal(err)
+			return fatal(err)
 		}
-		res.Fprint(os.Stdout)
+		if !res.Report(stdout) {
+			return gate("E6 scenario gate failures (shutoffs/traffic short of the configuration)")
+		}
 	case "e7":
 		cfg := adv
 		if set["ases"] {
@@ -108,15 +149,14 @@ func main() {
 		cfg.Seeds = experiments.SeedSweep(*seed, *seeds)
 		res, err := experiments.RunE7(cfg)
 		if err != nil {
-			fatal(err)
+			return fatal(err)
 		}
-		ok, err := res.Report(os.Stdout, *jsonOut)
+		ok, err := res.Report(stdout, *jsonOut)
 		if err != nil {
-			fatal(err)
+			return fatal(err)
 		}
 		if !ok {
-			fmt.Fprintln(os.Stderr, "apna-scenario: E7 invariant violations")
-			os.Exit(2)
+			return gate("E7 invariant violations")
 		}
 	case "e9":
 		cfg := endur
@@ -129,20 +169,19 @@ func main() {
 		cfg.Seeds = experiments.SeedSweep(*seed, *seeds)
 		res, err := experiments.RunE9(cfg)
 		if err != nil {
-			fatal(err)
+			return fatal(err)
 		}
 		if *jsonOut {
 			// The summary goes to stderr so stdout stays a clean
 			// JSON-lines artifact (BENCH_e9.json).
-			res.Fprint(os.Stderr)
+			res.Fprint(stderr)
 		}
-		ok, err := res.Report(os.Stdout, *jsonOut)
+		ok, err := res.Report(stdout, *jsonOut)
 		if err != nil {
-			fatal(err)
+			return fatal(err)
 		}
 		if !ok {
-			fmt.Fprintln(os.Stderr, "apna-scenario: E9 lifecycle gate failures")
-			os.Exit(2)
+			return gate("E9 lifecycle gate failures")
 		}
 	case "e10":
 		cfg := acct
@@ -157,20 +196,19 @@ func main() {
 		cfg.Seeds = experiments.SeedSweep(*seed, *seeds)
 		res, err := experiments.RunE10(cfg)
 		if err != nil {
-			fatal(err)
+			return fatal(err)
 		}
 		if *jsonOut {
 			// The summary goes to stderr so stdout stays a clean
 			// JSON-lines artifact (BENCH_e10.json).
-			res.Fprint(os.Stderr)
+			res.Fprint(stderr)
 		}
-		ok, err := res.Report(os.Stdout, *jsonOut)
+		ok, err := res.Report(stdout, *jsonOut)
 		if err != nil {
-			fatal(err)
+			return fatal(err)
 		}
 		if !ok {
-			fmt.Fprintln(os.Stderr, "apna-scenario: E10 inter-domain gate failures")
-			os.Exit(2)
+			return gate("E10 inter-domain gate failures")
 		}
 	case "e11":
 		cfg := pop
@@ -183,34 +221,110 @@ func main() {
 		}
 		res, err := experiments.RunE11(cfg)
 		if err != nil {
-			fatal(err)
+			return fatal(err)
 		}
 		if *jsonOut {
 			// The summary goes to stderr so stdout stays a clean
 			// single-object JSON artifact (BENCH_e11.json).
-			res.Fprint(os.Stderr)
+			res.Fprint(stderr)
 		}
-		ok, err := res.Report(os.Stdout, *jsonOut)
+		ok, err := res.Report(stdout, *jsonOut)
 		if err != nil {
-			fatal(err)
+			return fatal(err)
 		}
 		if !ok {
-			fmt.Fprintln(os.Stderr, "apna-scenario: E11 population gate failures")
-			os.Exit(2)
+			return gate("E11 population gate failures")
 		}
 	default:
-		fatal(fmt.Errorf("unknown scenario %q (want e6, e7, e9, e10 or e11)", *exp))
+		return fatal(fmt.Errorf("unknown scenario %q (want e6, e7, e9, e10 or e11)", *exp))
 	}
 	// Under -json stdout is the artifact; the timing line goes to
 	// stderr so `> BENCH_eN.json` stays clean.
-	out := os.Stdout
+	out := stdout
 	if *jsonOut {
-		out = os.Stderr
+		out = stderr
 	}
 	fmt.Fprintf(out, "  total wall time:     %v\n", time.Since(start).Round(time.Millisecond)) //apna:wallclock
+	return 0
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "apna-scenario:", err)
-	os.Exit(1)
+// runSpecFile executes one declarative scenario spec: capture mode
+// records the fault schedule (optionally to -record), replay mode
+// re-executes a recorded schedule and reports its alignment.
+func runSpecFile(path, record, replayPath string, seed int64, seedSet, jsonOut bool, stdout, stderr io.Writer) int {
+	fatal := func(err error) int {
+		fmt.Fprintln(stderr, "apna-scenario:", err)
+		return 1
+	}
+	spec, err := scenario.Load(path)
+	if err != nil {
+		return fatal(err)
+	}
+	if seedSet {
+		spec.Seed = seed
+	}
+	var opts scenario.RunOptions
+	if replayPath != "" {
+		sched, err := scenario.LoadSchedule(replayPath)
+		if err != nil {
+			return fatal(err)
+		}
+		opts.Replay = sched
+	}
+	start := time.Now() //apna:wallclock
+	res, err := scenario.Run(spec, opts)
+	if err != nil {
+		return fatal(err)
+	}
+	if record != "" {
+		if res.Schedule == nil {
+			return fatal(fmt.Errorf("-record is a capture-mode flag; drop -replay"))
+		}
+		if err := res.Schedule.Save(record); err != nil {
+			return fatal(err)
+		}
+	}
+	v := res.Verdict
+	if jsonOut {
+		raw, err := v.JSON()
+		if err != nil {
+			return fatal(err)
+		}
+		if _, err := stdout.Write(raw); err != nil {
+			return fatal(err)
+		}
+	} else {
+		verdict := "PASS"
+		if !v.OK {
+			verdict = "FAIL"
+		}
+		fmt.Fprintf(stdout, "scenario %s (seed %d): %s\n", v.Name, v.Seed, verdict)
+		fmt.Fprintf(stdout, "  hosts %d, flows %d (%d failed), sent %d, delivered %d\n",
+			v.Hosts, v.Flows, v.FlowsFailed, v.MessagesSent, v.Delivered)
+		fmt.Fprintf(stdout, "  shutoffs %d/%d filed, revoked %d, resolved %d (+%d dials), denied %d\n",
+			v.ShutoffsAccepted, v.ShutoffsFiled, v.Revoked, v.Resolved, v.ResolvedDials, v.Denied)
+		if v.Invariants != nil {
+			fmt.Fprintf(stdout, "  invariants ok: %v\n", v.Invariants.OK)
+		}
+		fmt.Fprintf(stdout, "  faults %d, events %d, virtual %v\n",
+			v.Faults, v.Events, time.Duration(v.VirtualNs))
+		fmt.Fprintf(stdout, "  trace %.16s…\n", v.TraceHash)
+		for _, f := range v.Failures {
+			fmt.Fprintf(stdout, "  FAIL: %s\n", f)
+		}
+	}
+	if st := res.Replay; st != nil {
+		fmt.Fprintf(stderr, "  replay: consumed %d, mismatched %d, underrun %d, leftover %d, desynced %v\n",
+			st.Consumed, st.Mismatched, st.Underrun, st.Leftover, st.Desynced)
+		if st.Mismatched > 0 || st.Desynced {
+			fmt.Fprintln(stderr, "apna-scenario: replay diverged from the recorded schedule")
+			return 2
+		}
+	}
+	fmt.Fprintf(stderr, "  total wall time: %v\n", time.Since(start).Round(time.Millisecond)) //apna:wallclock
+	if !v.OK {
+		fmt.Fprintln(stderr, "apna-scenario: scenario gate failures")
+		return 2
+	}
+	return 0
 }

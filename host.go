@@ -48,6 +48,10 @@ type Host struct {
 	// (local EphID, peer), so a second resolve on the same EphID would
 	// collide with the first.
 	resolves map[EphID]bool
+	// dnsCache is the host-side verified resolution cache (positive and
+	// negative) behind LookupAsync; dnsStats counts its activity.
+	dnsCache *dns.Cache
+	dnsStats DNSStats
 }
 
 // pingKey identifies an in-flight echo probe.
@@ -117,7 +121,8 @@ func (in *Internet) AddHost(aid AID, name string) (*Host, error) {
 		shutoffs:   make(map[Endpoint][]*Pending[bool]),
 		complaints: make(map[complaintKey]*Pending[*ShutoffReceipt]),
 		pings:      make(map[pingKey][]*Pending[bool]),
-		resolves:   make(map[EphID]bool)}
+		resolves:   make(map[EphID]bool),
+		dnsCache:   dns.NewCache()}
 	h.link = in.Sim.NewLink("host-"+name, in.opts.HostLinkLatency, 0)
 	as.Router.AttachHost(boot.HID, h.link.A())
 	stack.Attach(h.link.B())
@@ -264,19 +269,32 @@ func (h *Host) ResolveAsync(local *host.OwnedEphID, name string) *Pending[*cert.
 			// the tap is in place one RTT before the response.
 			h.Stack.TapFlow(local.Cert.EphID, c.Peer(), func(m host.Message) bool {
 				delete(h.resolves, local.Cert.EphID)
-				status, rec, err := dns.DecodeResponse(m.Payload)
+				resp, err := dns.ParseResponse(m.Payload)
 				switch {
 				case err != nil:
 					p.complete(nil, err)
-				case status != dns.StatusOK:
+				case resp.Status == dns.StatusNXDomain:
+					// Negative responses are signed too: an on-path
+					// attacker must not be able to suppress a name with
+					// a bare NXDOMAIN.
+					if resp.Denial == nil || resp.Denial.Name != name ||
+						h.verifyZoneSig(resp.Denial.Verify) != nil {
+						p.complete(nil, fmt.Errorf("apna: unauthenticated denial for %q: %w", name, dns.ErrBadDenial))
+					} else {
+						p.complete(nil, dns.ErrNXDomain)
+					}
+				case resp.Status != dns.StatusOK:
+					// Referrals belong to the chained resolver
+					// (LookupAsync); the single-zone resolve treats them
+					// as a miss it cannot follow.
 					p.complete(nil, dns.ErrNXDomain)
-				case rec.Name != name:
-					p.complete(nil, fmt.Errorf("apna: DNS answered %q for query %q", rec.Name, name))
+				case resp.Record.Name != name:
+					p.complete(nil, fmt.Errorf("apna: DNS answered %q for query %q", resp.Record.Name, name))
 				default:
-					if err := rec.Verify(h.as.in.Zone.PublicKey(), h.as.in.Sim.NowUnix()); err != nil {
+					if err := h.verifyZoneSig(resp.Record.Verify); err != nil {
 						p.complete(nil, err)
 					} else {
-						p.complete(&rec.Cert, nil)
+						p.complete(&resp.Record.Cert, nil)
 					}
 				}
 				return false

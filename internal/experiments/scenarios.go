@@ -214,6 +214,45 @@ func RunE6(cfg ScenarioConfig) (*ScenarioResult, error) {
 	return res, nil
 }
 
+// OK reports whether the run carried what the configuration promised:
+// every dialed connection established, every offered packet accounted
+// for, at least one delivery when traffic ran, and — when shutoffs
+// were requested — the full revocation wave filed and accepted. A
+// configuration that requests shutoffs but runs fewer than two data
+// waves cannot supply evidence, files nothing, and therefore fails:
+// silently skipping the revocations the caller asked for is the one
+// outcome a gate must not report as success.
+func (r *ScenarioResult) OK() bool {
+	c := r.Config
+	if r.Connections != r.Hosts*c.FlowsPerHost {
+		return false
+	}
+	if r.MessagesSent != r.Connections*c.MessagesPerFlow {
+		return false
+	}
+	if r.MessagesSent > 0 && r.MessagesDelivered == 0 {
+		return false
+	}
+	if c.Shutoffs > 0 {
+		want := c.Shutoffs
+		if r.Connections < want {
+			want = r.Connections
+		}
+		if r.ShutoffsFiled < want || r.ShutoffsAccepted != r.ShutoffsFiled {
+			return false
+		}
+	}
+	return true
+}
+
+// Report renders the summary and returns whether the run met its
+// configuration's promises — the same contract E7/E9/E10/E11 expose,
+// so every scenario front end gates (exit 2) through one shape.
+func (r *ScenarioResult) Report(w io.Writer) bool {
+	r.Fprint(w)
+	return r.OK()
+}
+
 // Fprint renders the scenario summary.
 func (r *ScenarioResult) Fprint(w io.Writer) {
 	c := r.Config

@@ -163,22 +163,87 @@ type Report struct {
 // JSON renders the report as one JSON object.
 func (r *Report) JSON() ([]byte, error) { return json.Marshal(r) }
 
+// registry is the named-invariant table in canonical check order.
+// Declarative scenario specs select invariant subsets by these names.
+var registry = []string{
+	InvAttributable,
+	InvNoForgedAccept,
+	InvShutoffStops,
+	InvNoReplay,
+	InvFlowUnlinkable,
+}
+
+// Names returns every registered invariant name in canonical check
+// order. The slice is a copy; callers may mutate it.
+func Names() []string { return append([]string(nil), registry...) }
+
+// Known reports whether name identifies a registered invariant.
+func Known(name string) bool {
+	for _, n := range registry {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *Checker) checkFor(name string) func() Result {
+	switch name {
+	case InvAttributable:
+		return c.checkAttributable
+	case InvNoForgedAccept:
+		return c.checkNoForgedAccept
+	case InvShutoffStops:
+		return c.checkShutoffStops
+	case InvNoReplay:
+		return c.checkNoReplay
+	case InvFlowUnlinkable:
+		return c.checkFlowUnlinkable
+	default:
+		return nil
+	}
+}
+
 // Check replays the recorded trace against every invariant.
 func (c *Checker) Check() *Report {
+	rep, err := c.CheckSelected(nil)
+	if err != nil {
+		// Unreachable: nil selects the registry, whose names all resolve.
+		panic(err)
+	}
+	return rep
+}
+
+// CheckSelected replays the recorded trace against the named invariants
+// only, in canonical registry order regardless of the order given. A
+// nil or empty selection checks everything; an unknown name is an
+// error, not a silent skip — a spec asking for a property that does not
+// exist must fail loudly.
+func (c *Checker) CheckSelected(names []string) (*Report, error) {
+	selected := registry
+	if len(names) > 0 {
+		want := make(map[string]bool, len(names))
+		for _, n := range names {
+			if !Known(n) {
+				return nil, fmt.Errorf("invariant: unknown invariant %q (have %v)", n, registry)
+			}
+			want[n] = true
+		}
+		selected = selected[:0:0]
+		for _, n := range registry {
+			if want[n] {
+				selected = append(selected, n)
+			}
+		}
+	}
 	rep := &Report{OK: true}
-	for _, fn := range []func() Result{
-		c.checkAttributable,
-		c.checkNoForgedAccept,
-		c.checkShutoffStops,
-		c.checkNoReplay,
-		c.checkFlowUnlinkable,
-	} {
-		res := fn()
+	for _, name := range selected {
+		res := c.checkFor(name)()
 		res.OK = len(res.Violations) == 0
 		rep.OK = rep.OK && res.OK
 		rep.Results = append(rep.Results, res)
 	}
-	return rep
+	return rep, nil
 }
 
 func (c *Checker) checkAttributable() Result {

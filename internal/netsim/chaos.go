@@ -1,9 +1,6 @@
 package netsim
 
-import (
-	"math/rand"
-	"time"
-)
+import "time"
 
 // Chaos extensions to links. The base Link models a clean channel with
 // an independent loss probability; adversarial conformance runs need the
@@ -64,11 +61,13 @@ func (c *ChaosConfig) partitioned(now time.Duration) bool {
 }
 
 // extraDelay draws the chaotic latency additions for one frame copy.
-func (c *ChaosConfig) extraDelay(rng *rand.Rand) (d time.Duration, reordered bool) {
+// Draws route through the simulator's fault helpers so capture and
+// replay see every decision.
+func (c *ChaosConfig) extraDelay(s *Simulator, link string) (d time.Duration, reordered bool) {
 	if c.Jitter > 0 {
-		d += time.Duration(rng.Int63n(int64(c.Jitter) + 1))
+		d += s.faultJitter(link, c.Jitter)
 	}
-	if c.ReorderProb > 0 && rng.Float64() < c.ReorderProb {
+	if c.ReorderProb > 0 && s.faultChance(link, FaultReorder, c.ReorderProb) {
 		d += c.ReorderDelay
 		reordered = true
 	}

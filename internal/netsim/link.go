@@ -101,15 +101,16 @@ func (p *Port) Link() *Link { return p.link }
 func (p *Port) Send(frame []byte) {
 	l := p.link
 	if l.chaos.partitioned(l.sim.now) {
+		l.sim.faultMark(l.name, FaultPartition)
 		l.stats.Dropped++
 		l.stats.PartitionDrops++
 		return
 	}
-	if l.loss > 0 && l.sim.rng.Float64() < l.loss {
+	if l.loss > 0 && l.sim.faultChance(l.name, FaultLoss, l.loss) {
 		l.stats.Dropped++
 		return
 	}
-	if l.chaos.Loss > 0 && l.sim.rng.Float64() < l.chaos.Loss {
+	if l.chaos.Loss > 0 && l.sim.faultChance(l.name, FaultChaosLoss, l.chaos.Loss) {
 		l.stats.Dropped++
 		return
 	}
@@ -119,7 +120,7 @@ func (p *Port) Send(frame []byte) {
 		tap(append([]byte(nil), frame...), p)
 	}
 	p.deliverCopy(frame)
-	if l.chaos.DupProb > 0 && l.sim.rng.Float64() < l.chaos.DupProb {
+	if l.chaos.DupProb > 0 && l.sim.faultChance(l.name, FaultDup, l.chaos.DupProb) {
 		l.stats.Duplicated++
 		p.deliverCopy(frame)
 	}
@@ -130,7 +131,7 @@ func (p *Port) Send(frame []byte) {
 // duplicates can overtake originals.
 func (p *Port) deliverCopy(frame []byte) {
 	l := p.link
-	extra, reordered := l.chaos.extraDelay(l.sim.rng)
+	extra, reordered := l.chaos.extraDelay(l.sim, l.name)
 	if reordered {
 		l.stats.Reordered++
 	}

@@ -29,6 +29,12 @@ type Simulator struct {
 	rng    *rand.Rand
 	epoch  int64 // Unix seconds corresponding to virtual time zero
 	events uint64
+
+	// Fault capture/replay state (see faults.go). At most one of
+	// faultCap/faultReplay is non-nil.
+	faultCap    *FaultTrace
+	faultReplay *faultReplay
+	faultSeq    uint64
 }
 
 // DefaultEpoch is the Unix time at which simulations start unless

@@ -109,6 +109,14 @@ type Config struct {
 	// join registers a fresh HID in its place.
 	ChurnFrac float64 `json:"churn_frac"`
 
+	// FlashMult, when > 1, models a flash crowd: for FlashTicks ticks
+	// starting at FlashTick the diurnal arrival intensity is multiplied
+	// by FlashMult, on top of whatever the raised-cosine law gives —
+	// the onboarding surge a viral event aims at one AS's MS.
+	FlashMult  float64 `json:"flash_mult,omitempty"`
+	FlashTick  int     `json:"flash_tick,omitempty"`
+	FlashTicks int     `json:"flash_ticks,omitempty"`
+
 	// ComplaintEvery files one inter-domain shutoff complaint every N
 	// ticks (0 disables complaints).
 	ComplaintEvery int `json:"complaint_every"`
@@ -148,6 +156,13 @@ func DefaultConfig() Config {
 		GCEvery:             10,
 		DigestEvery:         10,
 	}
+}
+
+// Validate checks the configuration without running it — the scenario
+// DSL rejects bad population specs at load time through it.
+func (cfg Config) Validate() error {
+	_, err := cfg.normalize()
+	return err
 }
 
 // normalize validates cfg and fills defaults, returning the effective
@@ -190,6 +205,13 @@ func (cfg Config) normalize() (Config, error) {
 	if cfg.ChurnFrac < 0 || cfg.ChurnFrac >= 1 {
 		return cfg, fmt.Errorf("%w: churn fraction %v", ErrBadConfig, cfg.ChurnFrac)
 	}
+	if cfg.FlashMult < 0 || cfg.FlashTick < 0 || cfg.FlashTicks < 0 {
+		return cfg, fmt.Errorf("%w: flash crowd mult %v tick %d ticks %d",
+			ErrBadConfig, cfg.FlashMult, cfg.FlashTick, cfg.FlashTicks)
+	}
+	if cfg.FlashMult > 0 && cfg.FlashTicks == 0 {
+		return cfg, fmt.Errorf("%w: flash mult %v with zero flash ticks", ErrBadConfig, cfg.FlashMult)
+	}
 	// Each worker's identity turnover must fit its HID namespace.
 	perWorker := cfg.Hosts/cfg.Workers + 1
 	turnover := float64(perWorker) * (1 + cfg.ChurnFrac*float64(cfg.Ticks))
@@ -220,7 +242,10 @@ type Result struct {
 	Events       uint64  `json:"events"`
 	EventsPerSec float64 `json:"events_per_sec"`
 
-	Arrivals        uint64  `json:"arrivals"`
+	Arrivals uint64 `json:"arrivals"`
+	// FlashArrivals is the subset of Arrivals that landed inside the
+	// configured flash-crowd window (zero when FlashMult is unset).
+	FlashArrivals   uint64  `json:"flash_arrivals,omitempty"`
 	PoolHits        uint64  `json:"pool_hits"`
 	Issued          uint64  `json:"issued"`
 	OverflowIssued  uint64  `json:"overflow_issued"`
@@ -357,9 +382,10 @@ func mergeStats(rs ...*reservoir) OpStats {
 
 // counters are one worker's tallies, summed into the Result.
 type counters struct {
-	arrivals, poolHits, issued, overflow uint64
-	renewals, renewDenied, errNoEphID    uint64
-	joins, leaves, bytes                 uint64
+	arrivals, flashArrivals           uint64
+	poolHits, issued, overflow        uint64
+	renewals, renewDenied, errNoEphID uint64
+	joins, leaves, bytes              uint64
 }
 
 // worker owns a contiguous host partition and everything those hosts
@@ -503,7 +529,15 @@ func (wk *worker) churn(t int, now int64) {
 func (wk *worker) arrivals(t int, now int64) {
 	lam := intensity(wk.cfg.PeakSessionsPerHost, wk.cfg.BaseSessionsPerHost,
 		t, wk.cfg.DiurnalPeriod) * float64(len(wk.hosts))
+	inFlash := wk.cfg.FlashMult > 0 &&
+		t >= wk.cfg.FlashTick && t < wk.cfg.FlashTick+wk.cfg.FlashTicks
+	if inFlash {
+		lam *= wk.cfg.FlashMult
+	}
 	n := poisson(wk.rng, lam)
+	if inFlash {
+		wk.c.flashArrivals += uint64(n)
+	}
 	for i := 0; i < n; i++ {
 		hostIdx := int(wk.zipf.Uint64())
 		h := &wk.hosts[hostIdx]
@@ -655,6 +689,7 @@ func Run(cfg Config) (*Result, error) {
 	renewRes := make([]*reservoir, 0, len(workers))
 	for _, wk := range workers {
 		res.Arrivals += wk.c.arrivals
+		res.FlashArrivals += wk.c.flashArrivals
 		res.PoolHits += wk.c.poolHits
 		res.Issued += wk.c.issued
 		res.OverflowIssued += wk.c.overflow

@@ -218,6 +218,54 @@ func TestPoissonMoments(t *testing.T) {
 	}
 }
 
+// TestFlashCrowd checks the onboarding-surge knob: a flash window
+// multiplies the arrival intensity only inside [FlashTick,
+// FlashTick+FlashTicks), the surge is counted separately, and the run
+// stays bit-deterministic under a fixed seed.
+func TestFlashCrowd(t *testing.T) {
+	base := smallConfig()
+	calm, err := Run(base)
+	if err != nil {
+		t.Fatalf("calm run: %v", err)
+	}
+
+	cfg := base
+	cfg.FlashMult = 8
+	cfg.FlashTick = 10
+	cfg.FlashTicks = 5
+	hot, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("flash run: %v", err)
+	}
+	if hot.FlashArrivals == 0 {
+		t.Fatal("flash window produced no arrivals")
+	}
+	if hot.Arrivals <= calm.Arrivals {
+		t.Fatalf("flash crowd did not raise arrivals: calm %d, flash %d",
+			calm.Arrivals, hot.Arrivals)
+	}
+	if calm.FlashArrivals != 0 {
+		t.Fatalf("calm run counted %d flash arrivals", calm.FlashArrivals)
+	}
+	// The surge must dominate its window: 5 ticks at 8× the diurnal law
+	// should exceed the calm run's busiest-possible 5 ticks.
+	if hot.FlashArrivals <= calm.Arrivals/uint64(base.Ticks)*5 {
+		t.Errorf("surge too small to be a flash crowd: %d in-window arrivals vs %d calm total",
+			hot.FlashArrivals, calm.Arrivals)
+	}
+
+	again, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("flash rerun: %v", err)
+	}
+	if la, lb := logicalOf(hot), logicalOf(again); la != lb {
+		t.Fatalf("flash run nondeterministic:\n run1 %+v\n run2 %+v", la, lb)
+	}
+	if again.FlashArrivals != hot.FlashArrivals {
+		t.Fatalf("flash arrivals diverged: %d vs %d", hot.FlashArrivals, again.FlashArrivals)
+	}
+}
+
 // TestConfigValidation covers normalize's rejection surface.
 func TestConfigValidation(t *testing.T) {
 	base := DefaultConfig()
@@ -229,6 +277,9 @@ func TestConfigValidation(t *testing.T) {
 		func(c *Config) { c.EphIDLifetime = 1 },
 		func(c *Config) { c.RenewLead = 30; c.EphIDLifetime = 20 },
 		func(c *Config) { c.ChurnFrac = 1.5 },
+		func(c *Config) { c.FlashMult = -1 },
+		func(c *Config) { c.FlashMult = 3; c.FlashTicks = 0 },
+		func(c *Config) { c.FlashMult = 3; c.FlashTicks = 5; c.FlashTick = -1 },
 	}
 	for i, mutate := range bad {
 		cfg := base

@@ -1,0 +1,118 @@
+package scenario
+
+import (
+	"maps"
+	"path/filepath"
+	"testing"
+
+	"apna/internal/experiments"
+)
+
+func loadSpec(t *testing.T, name string) *Spec {
+	t.Helper()
+	s, err := Load(filepath.Join("..", "..", "scenarios", name))
+	if err != nil {
+		t.Fatalf("load %s: %v", name, err)
+	}
+	return s
+}
+
+func runSpec(t *testing.T, s *Spec, opts RunOptions) *Result {
+	t.Helper()
+	res, err := Run(s, opts)
+	if err != nil {
+		t.Fatalf("run %s: %v", s.Name, err)
+	}
+	return res
+}
+
+// TestE6Parity proves the committed e6.json spec compiles to the exact
+// run the hand-coded E6 scenario produces: same counters, same event
+// count, same virtual time.
+func TestE6Parity(t *testing.T) {
+	s := loadSpec(t, "e6.json")
+	res := runSpec(t, s, RunOptions{})
+	v := res.Verdict
+
+	e6, err := experiments.RunE6(experiments.DefaultScenario())
+	if err != nil {
+		t.Fatalf("RunE6: %v", err)
+	}
+
+	if v.Hosts != e6.Hosts {
+		t.Errorf("hosts: spec %d, hand-coded %d", v.Hosts, e6.Hosts)
+	}
+	if v.Flows != e6.Connections {
+		t.Errorf("flows: spec %d, hand-coded %d", v.Flows, e6.Connections)
+	}
+	if v.FlowsFailed != 0 {
+		t.Errorf("flows failed: %d, want 0 on chaos-free mesh", v.FlowsFailed)
+	}
+	if v.MessagesSent != e6.MessagesSent {
+		t.Errorf("sent: spec %d, hand-coded %d", v.MessagesSent, e6.MessagesSent)
+	}
+	if v.Delivered != e6.MessagesDelivered {
+		t.Errorf("delivered: spec %d, hand-coded %d", v.Delivered, e6.MessagesDelivered)
+	}
+	if v.ShutoffsFiled != e6.ShutoffsFiled || v.ShutoffsAccepted != e6.ShutoffsAccepted {
+		t.Errorf("shutoffs: spec %d/%d, hand-coded %d/%d",
+			v.ShutoffsAccepted, v.ShutoffsFiled, e6.ShutoffsAccepted, e6.ShutoffsFiled)
+	}
+	if v.Events != e6.Events {
+		t.Errorf("events: spec %d, hand-coded %d", v.Events, e6.Events)
+	}
+	if v.VirtualNs != int64(e6.VirtualElapsed) {
+		t.Errorf("virtual time: spec %dns, hand-coded %dns", v.VirtualNs, int64(e6.VirtualElapsed))
+	}
+	if !v.OK {
+		t.Errorf("verdict not OK: %v", v.Failures)
+	}
+}
+
+// TestE7Parity proves the committed e7.json spec reproduces the
+// hand-coded adversarial conformance run on every sweep seed: same
+// verdict, flows, deliveries, revocations, attack and defense counters,
+// and the same simulator event count (the strongest equivalence the
+// verdicts expose — equal event counts on a seeded simulation mean the
+// two drivers scheduled the same work).
+func TestE7Parity(t *testing.T) {
+	base := loadSpec(t, "e7.json")
+	cfg := experiments.DefaultAdversarial()
+	e7, err := experiments.RunE7(cfg)
+	if err != nil {
+		t.Fatalf("RunE7: %v", err)
+	}
+
+	for _, hand := range e7.Verdicts {
+		s := *base
+		s.Seed = hand.Seed
+		res := runSpec(t, &s, RunOptions{})
+		v := res.Verdict
+
+		if v.OK != hand.OK {
+			t.Errorf("seed %d: ok: spec %v, hand-coded %v (failures %v)", hand.Seed, v.OK, hand.OK, v.Failures)
+		}
+		if v.Flows != hand.Flows || v.FlowsFailed != hand.FlowsFailed {
+			t.Errorf("seed %d: flows: spec %d/%d, hand-coded %d/%d",
+				hand.Seed, v.Flows, v.FlowsFailed, hand.Flows, hand.FlowsFailed)
+		}
+		if v.Delivered != hand.Delivered {
+			t.Errorf("seed %d: delivered: spec %d, hand-coded %d", hand.Seed, v.Delivered, hand.Delivered)
+		}
+		if v.Revoked != hand.Revoked {
+			t.Errorf("seed %d: revoked: spec %d, hand-coded %d", hand.Seed, v.Revoked, hand.Revoked)
+		}
+		if !maps.Equal(v.Attacks, hand.Attacks) {
+			t.Errorf("seed %d: attacks: spec %v, hand-coded %v", hand.Seed, v.Attacks, hand.Attacks)
+		}
+		if !maps.Equal(v.Defenses, hand.Defenses) {
+			t.Errorf("seed %d: defenses: spec %v, hand-coded %v", hand.Seed, v.Defenses, hand.Defenses)
+		}
+		if v.Events != hand.Events {
+			t.Errorf("seed %d: events: spec %d, hand-coded %d", hand.Seed, v.Events, hand.Events)
+		}
+		if v.Invariants == nil || v.Invariants.OK != hand.Report.OK {
+			t.Errorf("seed %d: invariant report mismatch", hand.Seed)
+		}
+	}
+}
